@@ -1,0 +1,107 @@
+// Benchmarks regenerating each figure of the paper's evaluation (§7).
+// One benchmark per figure, driving the same harness as cmd/experiments in
+// its reduced Quick configuration so the full suite completes in minutes:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale numbers (paper workload sizes) come from `go run
+// ./cmd/experiments all` and are recorded in EXPERIMENTS.md.
+package wisedb_test
+
+import (
+	"io"
+	"testing"
+
+	"wisedb/internal/experiments"
+)
+
+// benchFig runs one figure once per benchmark iteration.
+func benchFig(b *testing.B, run func(*experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.QuickConfig(io.Discard)
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9: schedule cost vs the exact optimum for
+// each of the four performance goals.
+func BenchmarkFig9(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig9)
+}
+
+// BenchmarkFig10 regenerates Fig. 10: percent above optimal across workload
+// sizes.
+func BenchmarkFig10(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig10)
+}
+
+// BenchmarkFig11 regenerates Fig. 11: percent above optimal across goal
+// strictness factors.
+func BenchmarkFig11(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig11)
+}
+
+// BenchmarkFig12 regenerates Fig. 12: one vs two VM types against the
+// respective optima.
+func BenchmarkFig12(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig12)
+}
+
+// BenchmarkFig13 regenerates Fig. 13: WiSeDB vs FFD, FFI, and Pack9 on
+// large batches.
+func BenchmarkFig13(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig13)
+}
+
+// BenchmarkFig14 regenerates Fig. 14: training time vs template count.
+func BenchmarkFig14(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig14)
+}
+
+// BenchmarkFig15 regenerates Fig. 15: training time vs VM type count.
+func BenchmarkFig15(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig15)
+}
+
+// BenchmarkFig16 regenerates Fig. 16: adaptive re-training time vs SLA
+// shift.
+func BenchmarkFig16(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig16)
+}
+
+// BenchmarkFig17 regenerates Fig. 17: batch scheduling time vs workload
+// size.
+func BenchmarkFig17(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig17)
+}
+
+// BenchmarkFig18 regenerates Fig. 18: online scheduling cost vs the
+// clairvoyant bound across arrival delays.
+func BenchmarkFig18(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig18)
+}
+
+// BenchmarkFig19 regenerates Fig. 19: per-arrival online scheduling
+// overhead under each optimization combination.
+func BenchmarkFig19(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig19)
+}
+
+// BenchmarkFig20 regenerates Fig. 20: sensitivity to skewed workloads.
+func BenchmarkFig20(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig20)
+}
+
+// BenchmarkFig21 regenerates Fig. 21: cost mean and range vs skew.
+func BenchmarkFig21(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig21)
+}
+
+// BenchmarkFig22 regenerates Fig. 22: sensitivity to latency prediction
+// error.
+func BenchmarkFig22(b *testing.B) {
+	benchFig(b, (*experiments.Config).Fig22)
+}

@@ -1,0 +1,108 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figs. 9-22 of §7) as text tables.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] all
+//	experiments [-quick] [-seed N] fig9 [fig10 ...]
+//
+// Full mode follows the paper's workload scales and can take tens of
+// minutes (exact optima at 30 queries dominate); -quick shrinks everything
+// to run in a few minutes. EXPERIMENTS.md records full-mode output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"wisedb/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced workload and training scale")
+	seed := flag.Int64("seed", 1, "random seed for all samplers")
+	flag.Usage = usage
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig(os.Stdout)
+	if *quick {
+		cfg = experiments.QuickConfig(os.Stdout)
+	}
+	cfg.Seed = *seed
+
+	figs := map[string]func() error{
+		"fig9":  wrap(cfg.Fig9),
+		"fig10": wrap(cfg.Fig10),
+		"fig11": wrap(cfg.Fig11),
+		"fig12": wrap(cfg.Fig12),
+		"fig13": wrap(cfg.Fig13),
+		"fig14": wrap(cfg.Fig14),
+		"fig15": wrap(cfg.Fig15),
+		"fig16": wrap(cfg.Fig16),
+		"fig17": wrap(cfg.Fig17),
+		"fig18": wrap(cfg.Fig18),
+		"fig19": wrap(cfg.Fig19),
+		"fig20": wrap(cfg.Fig20),
+		"fig21": wrap(cfg.Fig21),
+		"fig22": wrap(cfg.Fig22),
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for name := range figs {
+			args = append(args, name)
+		}
+		sort.Slice(args, func(i, j int) bool {
+			return figNum(args[i]) < figNum(args[j])
+		})
+	}
+	for _, name := range args {
+		run, ok := figs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func wrap(f func() (*experiments.Table, error)) func() error {
+	return func() error {
+		_, err := f()
+		return err
+	}
+}
+
+func figNum(name string) int {
+	var n int
+	fmt.Sscanf(name, "fig%d", &n)
+	return n
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] all | figN [figM ...]
+
+Regenerates the evaluation figures of the WiSeDB paper (VLDB 2016, §7):
+  fig9   optimality across performance metrics      fig16  adaptive re-training time
+  fig10  optimality vs workload size                fig17  batch scheduling overhead
+  fig11  optimality vs goal strictness              fig18  online scheduling vs optimal
+  fig12  one vs two VM types                        fig19  online scheduling overhead
+  fig13  WiSeDB vs FFD/FFI/Pack9                    fig20  skewed workloads
+  fig14  training time vs #templates                fig21  skew vs cost range
+  fig15  training time vs #VM types                 fig22  latency prediction error
+`)
+}

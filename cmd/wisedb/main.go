@@ -1,0 +1,140 @@
+// Command wisedb is a small CLI over the WiSeDB advisor: it trains decision
+// models, schedules batch workloads, recommends service tiers, and simulates
+// online arrival streams — all against the synthetic TPC-H-like environment
+// of the paper's evaluation (§7.1).
+//
+// Usage:
+//
+//	wisedb [flags] train      # train a model and dump the decision tree
+//	wisedb [flags] schedule   # train + schedule a random batch, print costs
+//	wisedb [flags] recommend  # derive k service tiers with cost estimates
+//	wisedb [flags] online     # simulate an online arrival stream
+//
+// Common flags select the goal (-goal max|perquery|average|percentile), the
+// environment (-templates, -vmtypes), training scale (-samples, -size), and
+// the workload (-queries, -seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"wisedb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wisedb: ")
+
+	goalName := flag.String("goal", "max", "performance goal: max, perquery, average, percentile")
+	numTemplates := flag.Int("templates", 10, "number of query templates")
+	numTypes := flag.Int("vmtypes", 1, "number of VM types")
+	samples := flag.Int("samples", 500, "training sample workloads (N)")
+	sampleSize := flag.Int("size", 12, "queries per training sample (m)")
+	queries := flag.Int("queries", 100, "workload size for schedule/online")
+	seed := flag.Int64("seed", 1, "random seed")
+	tiers := flag.Int("k", 3, "service tiers for recommend")
+	delay := flag.Duration("delay", 10*time.Second, "inter-arrival delay for online")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	templates := wisedb.DefaultTemplates(*numTemplates)
+	env := wisedb.NewEnv(templates, wisedb.DefaultVMTypes(*numTypes))
+	goal := makeGoal(*goalName, templates)
+
+	cfg := wisedb.DefaultTrainConfig()
+	cfg.NumSamples = *samples
+	cfg.SampleSize = *sampleSize
+	cfg.Seed = *seed
+	advisor := wisedb.NewAdvisor(env, cfg)
+
+	switch flag.Arg(0) {
+	case "train":
+		model := mustTrain(advisor, goal)
+		fmt.Printf("trained in %s on %d decisions; tree height %d, %d leaves\n\n",
+			model.TrainingTime.Round(time.Millisecond), model.TrainingRows,
+			model.Tree.Height(), model.Tree.NumLeaves())
+		fmt.Print(model.Dump())
+
+	case "schedule":
+		model := mustTrain(advisor, goal)
+		w := wisedb.NewSampler(templates, *seed+100).Uniform(*queries)
+		start := time.Now()
+		sched, err := model.ScheduleBatch(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scheduled %d queries onto %d VMs in %s\n",
+			*queries, len(sched.VMs), time.Since(start).Round(time.Microsecond))
+		fmt.Printf("provisioning %.2f¢ + penalty %.2f¢ = total %.2f¢\n",
+			sched.ProvisioningCost(env), sched.Penalty(env, goal), sched.Cost(env, goal))
+
+	case "recommend":
+		rec := wisedb.DefaultRecommendConfig()
+		rec.K = *tiers
+		strategies, err := advisor.Recommend(goal, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := make([]int, *numTemplates)
+		for i := range counts {
+			counts[i] = *queries / *numTemplates
+		}
+		fmt.Printf("%d service tiers (estimated cost for %d-query uniform workload):\n", len(strategies), *queries)
+		for i, s := range strategies {
+			fmt.Printf("  tier %d: %-60s est. %.2f¢\n", i+1, s.Model.Goal.Key(), s.EstimateCost(counts))
+		}
+
+	case "online":
+		model := mustTrain(advisor, goal)
+		w := wisedb.NewSampler(templates, *seed+100).Uniform(*queries)
+		arrivals := make([]time.Duration, *queries)
+		for i := range arrivals {
+			arrivals[i] = time.Duration(i) * *delay
+		}
+		res, err := wisedb.NewOnlineScheduler(model, wisedb.DefaultOnlineOptions()).Run(w.WithArrivals(arrivals))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("online: %d queries, %d VMs, cost %.2f¢ (penalty %.2f¢)\n",
+			len(res.Perf), res.VMsRented, res.Cost, res.Penalty)
+		fmt.Printf("advisor overhead %s total (%d retrainings, %d adaptations, %d cache hits)\n",
+			res.SchedulingTime.Round(time.Millisecond), res.Retrainings, res.Adaptations, res.CacheHits)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustTrain(advisor *wisedb.Advisor, goal wisedb.Goal) *wisedb.Model {
+	fmt.Fprintf(os.Stderr, "training %s model...\n", goal.Name())
+	model, err := advisor.Train(goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return model
+}
+
+func makeGoal(name string, templates []wisedb.Template) wisedb.Goal {
+	switch name {
+	case "max":
+		return wisedb.NewMaxLatency(15*time.Minute, templates, wisedb.DefaultPenaltyRate)
+	case "perquery":
+		return wisedb.NewPerQuery(3, templates, wisedb.DefaultPenaltyRate)
+	case "average":
+		return wisedb.NewAverage(10*time.Minute, templates, wisedb.DefaultPenaltyRate)
+	case "percentile":
+		return wisedb.NewPercentile(90, 10*time.Minute, templates, wisedb.DefaultPenaltyRate)
+	default:
+		log.Fatalf("unknown goal %q (want max, perquery, average, percentile)", name)
+		return nil
+	}
+}

@@ -1,0 +1,67 @@
+// Multiple VM types: WiSeDB learns which queries belong on which instance
+// type (§7.2, "Multiple VM Types"). Low-RAM queries run at full speed on a
+// cheap t2.small, so a good strategy routes them there and reserves the
+// pricier t2.medium for memory-hungry templates.
+//
+// Run with:
+//
+//	go run ./examples/multivm
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wisedb"
+)
+
+func main() {
+	templates := wisedb.DefaultTemplates(6) // first half low-RAM
+	goal := wisedb.NewPerQuery(3, templates, wisedb.DefaultPenaltyRate)
+
+	cfg := wisedb.DefaultTrainConfig()
+	cfg.NumSamples = 200
+	cfg.SampleSize = 10
+
+	batchSampler := wisedb.NewSampler(templates, 77)
+	batch := batchSampler.Uniform(60)
+
+	for _, numTypes := range []int{1, 2} {
+		env := wisedb.NewEnv(templates, wisedb.DefaultVMTypes(numTypes))
+		advisor := wisedb.NewAdvisor(env, cfg)
+		model, err := advisor.Train(goal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err := model.ScheduleBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perType := map[int]int{}
+		lowRAMOnSmall, highRAMOnSmall := 0, 0
+		for _, vm := range sched.VMs {
+			perType[vm.TypeID]++
+			if vm.TypeID == 1 {
+				for _, q := range vm.Queue {
+					if templates[q.TemplateID].HighRAM {
+						highRAMOnSmall++
+					} else {
+						lowRAMOnSmall++
+					}
+				}
+			}
+		}
+		fmt.Printf("%d VM type(s): cost %6.2f cents, trained in %s\n",
+			numTypes, sched.Cost(env, goal), model.TrainingTime.Round(time.Millisecond))
+		for tid, count := range perType {
+			fmt.Printf("  %-10s x%d\n", env.VMTypes[tid].Name, count)
+		}
+		if numTypes == 2 {
+			fmt.Printf("  on t2.small: %d low-RAM queries, %d high-RAM queries\n",
+				lowRAMOnSmall, highRAMOnSmall)
+		}
+	}
+	fmt.Println("\nWith access to the cheaper type, the learned strategy should" +
+		"\nroute low-RAM queries to t2.small and lower the total cost (§7.2).")
+}

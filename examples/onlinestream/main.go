@@ -1,0 +1,71 @@
+// Online stream: schedule queries as they arrive (§6.3 of the paper),
+// without knowing the future. On each arrival WiSeDB re-batches every query
+// that has not started executing, accounts for the time waited, and
+// re-schedules. The linear-shifting and model-reuse optimizations avoid
+// re-training from scratch on (almost) every arrival.
+//
+// Run with:
+//
+//	go run ./examples/onlinestream
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"wisedb"
+)
+
+func main() {
+	templates := wisedb.DefaultTemplates(6)
+	env := wisedb.NewEnv(templates, wisedb.DefaultVMTypes(1))
+	goal := wisedb.NewPerQuery(3, templates, wisedb.DefaultPenaltyRate)
+
+	cfg := wisedb.DefaultTrainConfig()
+	cfg.NumSamples = 200
+	cfg.SampleSize = 10
+	advisor := wisedb.NewAdvisor(env, cfg)
+
+	fmt.Println("training base model...")
+	base, err := advisor.Train(goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A stream of 40 queries with ~20s inter-arrival gaps.
+	rng := rand.New(rand.NewSource(11))
+	stream := wisedb.NewSampler(templates, 5).Uniform(40)
+	arrivals := make([]time.Duration, 40)
+	t := time.Duration(0)
+	for i := range arrivals {
+		arrivals[i] = t
+		t += time.Duration(rng.Intn(40)) * time.Second
+	}
+	stream = stream.WithArrivals(arrivals)
+
+	for _, setup := range []struct {
+		name         string
+		shift, reuse bool
+	}{
+		{"no optimizations ", false, false},
+		{"shift            ", true, false},
+		{"shift+reuse      ", true, true},
+	} {
+		opts := wisedb.DefaultOnlineOptions()
+		opts.Shift = setup.shift
+		opts.Reuse = setup.reuse
+		opts.Retrain.NumSamples = 60
+		opts.Retrain.SampleSize = 8
+
+		sched := wisedb.NewOnlineScheduler(base, opts)
+		res, err := sched.Run(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s cost=%7.2f¢  VMs=%2d  retrain=%2d adapt=%2d cache-hits=%2d  advisor overhead=%s\n",
+			setup.name, res.Cost, res.VMsRented, res.Retrainings,
+			res.Adaptations, res.CacheHits, res.SchedulingTime.Round(time.Millisecond))
+	}
+}

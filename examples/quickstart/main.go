@@ -1,0 +1,66 @@
+// Quickstart: train a WiSeDB decision model for a max-latency SLA and use
+// it to schedule a batch workload, comparing the learned schedule's cost
+// against simple baselines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wisedb"
+)
+
+func main() {
+	// The application's workload specification: ten TPC-H-like query
+	// templates with latencies between 2 and 6 minutes, and one VM type
+	// priced like an EC2 t2.medium.
+	templates := wisedb.DefaultTemplates(10)
+	vmTypes := wisedb.DefaultVMTypes(1)
+	env := wisedb.NewEnv(templates, vmTypes)
+
+	// The SLA: no query may take longer than 15 minutes, with a penalty
+	// of 1 cent per second of violation.
+	goal := wisedb.NewMaxLatency(15*time.Minute, templates, wisedb.DefaultPenaltyRate)
+
+	// Train the decision model offline. This samples random workloads,
+	// solves each optimally on the scheduling graph, and fits a decision
+	// tree to the optimal decisions.
+	cfg := wisedb.DefaultTrainConfig()
+	cfg.NumSamples = 250
+	cfg.SampleSize = 10
+	advisor := wisedb.NewAdvisor(env, cfg)
+
+	fmt.Println("training decision model...")
+	model, err := advisor.Train(goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s on %d decisions (tree height %d, %d leaves)\n\n",
+		model.TrainingTime.Round(time.Millisecond), model.TrainingRows,
+		model.Tree.Height(), model.Tree.NumLeaves())
+
+	// Schedule an incoming batch of 100 queries.
+	batch := wisedb.NewSampler(templates, 42).Uniform(100)
+	sched, err := model.ScheduleBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %d queries onto %d VMs\n", batch.Size(), len(sched.VMs))
+	fmt.Printf("  provisioning cost: %6.2f cents\n", sched.ProvisioningCost(env))
+	fmt.Printf("  SLA penalty:       %6.2f cents\n", sched.Penalty(env, goal))
+	fmt.Printf("  total cost:        %6.2f cents\n\n", sched.Cost(env, goal))
+
+	// Show part of the learned strategy, in the spirit of the paper's
+	// Figure 6.
+	fmt.Println("learned strategy (decision tree):")
+	dump := model.Dump()
+	if len(dump) > 1200 {
+		dump = dump[:1200] + "  ...\n"
+	}
+	fmt.Print(dump)
+}

@@ -1,0 +1,70 @@
+// Service tiers: explore the performance vs. cost trade-off (§6.1 of the
+// paper). WiSeDB derives a ladder of alternative strategies around the
+// application's goal — looser and cheaper, or stricter and costlier — by
+// adaptively re-training one base model, then prunes the ladder to k
+// distinct tiers using the Earth Mover's Distance between per-template cost
+// profiles.
+//
+// Run with:
+//
+//	go run ./examples/servicetiers
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wisedb"
+)
+
+func main() {
+	templates := wisedb.DefaultTemplates(6)
+	env := wisedb.NewEnv(templates, wisedb.DefaultVMTypes(1))
+	goal := wisedb.NewMaxLatency(15*time.Minute, templates, wisedb.DefaultPenaltyRate)
+
+	cfg := wisedb.DefaultTrainConfig()
+	cfg.NumSamples = 200
+	cfg.SampleSize = 10
+	advisor := wisedb.NewAdvisor(env, cfg)
+
+	rec := wisedb.DefaultRecommendConfig()
+	rec.K = 3
+	rec.CandidateCount = 7
+
+	fmt.Println("deriving service tiers (train loosest, adapt stricter)...")
+	start := time.Now()
+	tiers, err := advisor.Recommend(goal, rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived %d tiers in %s\n\n", len(tiers), time.Since(start).Round(time.Millisecond))
+
+	// Estimate the cost of two anticipated workload mixes under each
+	// tier using the strategies' cost-estimation functions — no
+	// execution needed.
+	analytic := []int{50, 50, 0, 0, 0, 0}  // short-query heavy
+	reporting := []int{0, 0, 0, 0, 50, 50} // long-query heavy
+
+	fmt.Println("tier  deadline     est. cost (short mix)  est. cost (long mix)")
+	for i, tier := range tiers {
+		deadline := tier.Model.Goal.(wisedb.MaxLatency).Deadline
+		fmt.Printf("%4d  %-10s   %8.2f cents          %8.2f cents\n",
+			i+1, deadline.Round(time.Second),
+			tier.EstimateCost(analytic), tier.EstimateCost(reporting))
+	}
+
+	// Execute one real workload under each tier to show the realized
+	// trade-off.
+	batch := wisedb.NewSampler(templates, 7).Uniform(60)
+	fmt.Println("\nrealized on a 60-query batch:")
+	for i, tier := range tiers {
+		sched, err := tier.Model.ScheduleBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tierGoal := tier.Model.Goal
+		fmt.Printf("  tier %d: %2d VMs, cost %6.2f cents (penalty %5.2f)\n",
+			i+1, len(sched.VMs), sched.Cost(env, tierGoal), sched.Penalty(env, tierGoal))
+	}
+}

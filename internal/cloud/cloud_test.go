@@ -1,0 +1,196 @@
+package cloud
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wisedb/internal/workload"
+)
+
+func TestDefaultVMTypes(t *testing.T) {
+	types := DefaultVMTypes(2)
+	medium, small := types[0], types[1]
+	if medium.Name != "t2.medium" || small.Name != "t2.small" {
+		t.Fatalf("unexpected names %s, %s", medium.Name, small.Name)
+	}
+	if medium.RatePerHour != 5.2 {
+		t.Fatalf("t2.medium rate: want 5.2¢/hr ($0.052), got %g", medium.RatePerHour)
+	}
+	if medium.StartupCost != 0.08 {
+		t.Fatalf("start-up cost: want 0.08¢ ($0.0008), got %g", medium.StartupCost)
+	}
+	if small.RatePerHour >= medium.RatePerHour {
+		t.Fatal("t2.small must be cheaper")
+	}
+}
+
+func TestRunningCost(t *testing.T) {
+	vt := DefaultVMTypes(1)[0]
+	if got := vt.RunningCost(time.Hour); math.Abs(got-5.2) > 1e-12 {
+		t.Fatalf("1 hour: want 5.2¢, got %g", got)
+	}
+	if got := vt.RunningCost(30 * time.Minute); math.Abs(got-2.6) > 1e-12 {
+		t.Fatalf("30 min: want 2.6¢, got %g", got)
+	}
+}
+
+func TestLatencyHighRAM(t *testing.T) {
+	types := DefaultVMTypes(2)
+	low := workload.Template{ID: 0, BaseLatency: 2 * time.Minute, HighRAM: false}
+	high := workload.Template{ID: 1, BaseLatency: 2 * time.Minute, HighRAM: true}
+	if lat, ok := types[1].Latency(low); !ok || lat != 2*time.Minute {
+		t.Fatalf("low-RAM on small: want full speed, got %s ok=%v", lat, ok)
+	}
+	want := time.Duration(types[1].HighRAMMultiplier * float64(2*time.Minute))
+	if lat, ok := types[1].Latency(high); !ok || lat != want {
+		t.Fatalf("high-RAM on small: want %s, got %s ok=%v", want, lat, ok)
+	}
+	if lat, ok := types[0].Latency(high); !ok || lat != 2*time.Minute {
+		t.Fatalf("high-RAM on medium: want full speed, got %s ok=%v", lat, ok)
+	}
+	noHigh := types[0]
+	noHigh.SupportsHighRAM = false
+	if _, ok := noHigh.Latency(high); ok {
+		t.Fatal("unsupported template must report ok=false")
+	}
+}
+
+func TestNoisyPredictorStable(t *testing.T) {
+	templates := workload.DefaultTemplates(5)
+	types := DefaultVMTypes(1)
+	p := NewNoisyPredictor(TablePredictor{}, 0.2, 42)
+	a, _ := p.Latency(templates[2], types[0])
+	b, _ := p.Latency(templates[2], types[0])
+	if a != b {
+		t.Fatal("noisy predictions must be stable per (template, type)")
+	}
+	if a == templates[2].BaseLatency {
+		t.Fatal("noise should perturb the latency (sigma=0.2)")
+	}
+	zero := NewNoisyPredictor(TablePredictor{}, 0, 42)
+	if lat, _ := zero.Latency(templates[2], types[0]); lat != templates[2].BaseLatency {
+		t.Fatalf("sigma=0: want exact latency, got %s", lat)
+	}
+}
+
+func TestNoisyPredictorNeverNegative(t *testing.T) {
+	f := func(seed int64, sigmaRaw uint8) bool {
+		sigma := float64(sigmaRaw) / 64 // up to 4x
+		rng := rand.New(rand.NewSource(seed))
+		lat := SampleNoisyLatency(4*time.Minute, sigma, rng)
+		return lat > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosestTemplate(t *testing.T) {
+	templates := workload.DefaultTemplates(10) // 2m..6m
+	ref := DefaultVMTypes(1)[0]
+	if got := ClosestTemplate(2*time.Minute, templates, ref, TablePredictor{}); got != 0 {
+		t.Fatalf("2m: want template 0, got %d", got)
+	}
+	if got := ClosestTemplate(6*time.Minute, templates, ref, TablePredictor{}); got != 9 {
+		t.Fatalf("6m: want template 9, got %d", got)
+	}
+	if got := ClosestTemplate(4*time.Minute+2*time.Second, templates, ref, TablePredictor{}); got != 4 && got != 5 {
+		t.Fatalf("4m: want a middle template, got %d", got)
+	}
+}
+
+func TestSimSequentialExecution(t *testing.T) {
+	sim := NewSim()
+	vt := DefaultVMTypes(1)[0]
+	vm := sim.Rent(vt, 0)
+	vm.Enqueue(0, 0, 2*time.Minute)
+	vm.Enqueue(1, 1, 3*time.Minute)
+	runs := sim.Finish()
+	if len(runs) != 2 {
+		t.Fatalf("want 2 runs, got %d", len(runs))
+	}
+	ready := vt.StartupDelay
+	if runs[0].Start != ready || runs[0].End != ready+2*time.Minute {
+		t.Fatalf("run 0: got [%s,%s]", runs[0].Start, runs[0].End)
+	}
+	if runs[1].Start != runs[0].End || runs[1].End != runs[1].Start+3*time.Minute {
+		t.Fatalf("run 1 must follow run 0: got [%s,%s]", runs[1].Start, runs[1].End)
+	}
+}
+
+func TestSimRevokeUnstarted(t *testing.T) {
+	sim := NewSim()
+	vt := DefaultVMTypes(1)[0]
+	vm := sim.Rent(vt, 0)
+	vm.Enqueue(0, 0, 2*time.Minute)
+	vm.Enqueue(1, 0, 2*time.Minute)
+	vm.Enqueue(2, 0, 2*time.Minute)
+	// At startupDelay+1m, query 0 is running; 1 and 2 have not started.
+	tags := vm.RevokeUnstarted(vt.StartupDelay + time.Minute)
+	if len(tags) != 2 || tags[0] != 1 || tags[1] != 2 {
+		t.Fatalf("want tags [1 2], got %v", tags)
+	}
+	runs := sim.Finish()
+	if len(runs) != 1 || runs[0].Tag != 0 {
+		t.Fatalf("only query 0 should execute, got %v", runs)
+	}
+}
+
+func TestSimRevokeAtExactStartBoundary(t *testing.T) {
+	sim := NewSim()
+	vt := DefaultVMTypes(1)[0]
+	vm := sim.Rent(vt, 0)
+	vm.Enqueue(0, 0, time.Minute)
+	// A query whose start time equals the observation time has not
+	// started and is revocable.
+	tags := vm.RevokeUnstarted(vt.StartupDelay)
+	if len(tags) != 1 {
+		t.Fatalf("query starting exactly now must be revocable, got %v", tags)
+	}
+}
+
+func TestSimBusyUntilAndNextFree(t *testing.T) {
+	sim := NewSim()
+	vt := DefaultVMTypes(1)[0]
+	vm := sim.Rent(vt, 0)
+	if free := vm.NextFree(0); free != vt.StartupDelay {
+		t.Fatalf("fresh VM free at startup delay, got %s", free)
+	}
+	vm.Enqueue(0, 0, 2*time.Minute)
+	vm.Enqueue(1, 0, time.Minute)
+	at := vt.StartupDelay + time.Minute // query 0 running
+	if busy := vm.BusyUntil(at); busy != vt.StartupDelay+3*time.Minute {
+		t.Fatalf("busy until all queued work done: got %s", busy)
+	}
+	if free := vm.NextFree(at); free != vt.StartupDelay+2*time.Minute {
+		t.Fatalf("next free ignores revocable work: got %s", free)
+	}
+}
+
+func TestSimProvisioningCost(t *testing.T) {
+	sim := NewSim()
+	vt := DefaultVMTypes(1)[0]
+	vm := sim.Rent(vt, 0)
+	vm.Enqueue(0, 0, time.Hour)
+	sim.Finish()
+	want := vt.StartupCost + vt.RatePerHour
+	if got := sim.ProvisioningCost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("want %g, got %g", want, got)
+	}
+}
+
+func TestSimRunsOrderedByCompletion(t *testing.T) {
+	sim := NewSim()
+	vt := DefaultVMTypes(1)[0]
+	a := sim.Rent(vt, 0)
+	b := sim.Rent(vt, 0)
+	a.Enqueue(0, 0, 3*time.Minute)
+	b.Enqueue(1, 0, time.Minute)
+	runs := sim.Finish()
+	if runs[0].Tag != 1 || runs[1].Tag != 0 {
+		t.Fatalf("runs must be ordered by completion: %v", runs)
+	}
+}

@@ -1,0 +1,91 @@
+package cloud
+
+import (
+	"math/rand"
+	"time"
+
+	"wisedb/internal/workload"
+)
+
+// Predictor estimates per-template query latencies on each VM type. WiSeDB
+// consumes latency estimates rather than true latencies (§2: estimates come
+// from a-priori runs or prediction models such as [10, 11]); the accuracy
+// experiments (Fig. 22) inject Gaussian error between the two.
+type Predictor interface {
+	// Latency returns the predicted latency of an instance of template t
+	// on VM type v. ok is false if v cannot run t.
+	Latency(t workload.Template, v VMType) (lat time.Duration, ok bool)
+}
+
+// TablePredictor is the exact predictor: it reports the substrate's true
+// latency table.
+type TablePredictor struct{}
+
+// Latency implements Predictor.
+func (TablePredictor) Latency(t workload.Template, v VMType) (time.Duration, bool) {
+	return v.Latency(t)
+}
+
+// NoisyPredictor perturbs a base predictor with multiplicative Gaussian
+// noise: predicted = true × (1 + N(0, Sigma)). Sigma is the error standard
+// deviation as a fraction of the true latency (Fig. 22's x axis). Each
+// (template, VM type) pair receives a stable perturbation so repeated calls
+// are consistent, matching a biased-but-deterministic prediction model.
+type NoisyPredictor struct {
+	Base  Predictor
+	Sigma float64
+	seed  int64
+}
+
+// NewNoisyPredictor returns a NoisyPredictor with deterministic per-pair
+// noise derived from seed.
+func NewNoisyPredictor(base Predictor, sigma float64, seed int64) *NoisyPredictor {
+	return &NoisyPredictor{Base: base, Sigma: sigma, seed: seed}
+}
+
+// Latency implements Predictor.
+func (p *NoisyPredictor) Latency(t workload.Template, v VMType) (time.Duration, bool) {
+	lat, ok := p.Base.Latency(t, v)
+	if !ok {
+		return 0, false
+	}
+	rng := rand.New(rand.NewSource(p.seed ^ int64(t.ID)<<17 ^ int64(v.ID)<<3))
+	factor := 1 + rng.NormFloat64()*p.Sigma
+	if factor < 0.05 {
+		factor = 0.05
+	}
+	return time.Duration(float64(lat) * factor), true
+}
+
+// SampleNoisyLatency draws a fresh noisy observation of a query's latency —
+// used to model per-query (rather than per-template) prediction error when
+// classifying unseen queries into templates (§6.2, Fig. 22).
+func SampleNoisyLatency(trueLat time.Duration, sigma float64, rng *rand.Rand) time.Duration {
+	factor := 1 + rng.NormFloat64()*sigma
+	if factor < 0.05 {
+		factor = 0.05
+	}
+	return time.Duration(float64(trueLat) * factor)
+}
+
+// ClosestTemplate returns the ID of the template whose predicted latency on
+// the reference VM type is closest to the observed latency. WiSeDB treats a
+// query that does not match a known template as an instance of the template
+// with the closest predicted latency (§6.2).
+func ClosestTemplate(observed time.Duration, templates []workload.Template, ref VMType, p Predictor) int {
+	best, bestDiff := 0, time.Duration(1<<62)
+	for _, t := range templates {
+		lat, ok := p.Latency(t, ref)
+		if !ok {
+			continue
+		}
+		diff := lat - observed
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			best, bestDiff = t.ID, diff
+		}
+	}
+	return best
+}

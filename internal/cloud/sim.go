@@ -1,0 +1,161 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sim is a deterministic, event-driven execution simulator for rented VMs.
+// Each VM processes its queue sequentially and in isolation (§7.1). The
+// simulator supports the operations online scheduling needs (§6.3): renting
+// VMs mid-stream, enqueueing queries, and revoking queries that have not
+// started yet when a new arrival triggers re-scheduling.
+//
+// Sim is not safe for concurrent use.
+type Sim struct {
+	vms []*SimVM
+}
+
+// NewSim returns an empty simulator.
+func NewSim() *Sim { return &Sim{} }
+
+// Run records one executed query: when it started and finished on its VM.
+type Run struct {
+	// Tag identifies the query instance within its workload.
+	Tag int
+	// TemplateID is the query's template.
+	TemplateID int
+	// Start and End are the execution bounds in simulation time.
+	Start, End time.Duration
+}
+
+// queued is a query waiting in a VM's processing queue.
+type queued struct {
+	tag        int
+	templateID int
+	latency    time.Duration
+}
+
+// SimVM is a rented virtual machine inside a Sim.
+type SimVM struct {
+	// Type is the VM's type.
+	Type VMType
+	// RentedAt is when the VM was provisioned.
+	RentedAt time.Duration
+	// ReadyAt is when the VM starts accepting queries
+	// (RentedAt + Type.StartupDelay).
+	ReadyAt time.Duration
+	runs    []Run
+	queue   []queued
+}
+
+// Rent provisions a new VM of type vt at simulation time at and returns it.
+func (s *Sim) Rent(vt VMType, at time.Duration) *SimVM {
+	vm := &SimVM{Type: vt, RentedAt: at, ReadyAt: at + vt.StartupDelay}
+	s.vms = append(s.vms, vm)
+	return vm
+}
+
+// VMs returns the rented VMs in rental order.
+func (s *Sim) VMs() []*SimVM { return s.vms }
+
+// Enqueue appends a query with the given true execution latency to the VM's
+// processing queue.
+func (vm *SimVM) Enqueue(tag, templateID int, latency time.Duration) {
+	if latency <= 0 {
+		panic(fmt.Sprintf("cloud: Enqueue with non-positive latency %s for tag %d", latency, tag))
+	}
+	vm.queue = append(vm.queue, queued{tag: tag, templateID: templateID, latency: latency})
+}
+
+// materialize converts queued queries whose start time is strictly before t
+// into runs. A query whose start time is exactly t has not started and
+// remains revocable.
+func (vm *SimVM) materialize(t time.Duration) {
+	for len(vm.queue) > 0 {
+		start := vm.ReadyAt
+		if n := len(vm.runs); n > 0 && vm.runs[n-1].End > start {
+			start = vm.runs[n-1].End
+		}
+		if start >= t {
+			return
+		}
+		q := vm.queue[0]
+		vm.queue = vm.queue[1:]
+		vm.runs = append(vm.runs, Run{Tag: q.tag, TemplateID: q.templateID, Start: start, End: start + q.latency})
+	}
+}
+
+// BusyUntil returns the time at which the VM becomes free, given work
+// started strictly before t plus any still-queued queries. A VM with an
+// empty queue returns max(ReadyAt, last run end).
+func (vm *SimVM) BusyUntil(t time.Duration) time.Duration {
+	vm.materialize(t)
+	busy := vm.ReadyAt
+	if n := len(vm.runs); n > 0 && vm.runs[n-1].End > busy {
+		busy = vm.runs[n-1].End
+	}
+	for _, q := range vm.queue {
+		busy += q.latency
+	}
+	return busy
+}
+
+// NextFree returns when the VM finishes the queries that have started
+// strictly before t, ignoring revocable queued work.
+func (vm *SimVM) NextFree(t time.Duration) time.Duration {
+	vm.materialize(t)
+	free := vm.ReadyAt
+	if n := len(vm.runs); n > 0 && vm.runs[n-1].End > free {
+		free = vm.runs[n-1].End
+	}
+	return free
+}
+
+// RevokeUnstarted removes and returns the tags of queries that have not
+// started executing by time t. Online scheduling calls this on each arrival
+// to rebuild the batch of schedulable queries (§6.3).
+func (vm *SimVM) RevokeUnstarted(t time.Duration) []int {
+	vm.materialize(t)
+	tags := make([]int, len(vm.queue))
+	for i, q := range vm.queue {
+		tags[i] = q.tag
+	}
+	vm.queue = nil
+	return tags
+}
+
+// Finish drains all remaining queued work and returns every run across all
+// VMs, ordered by completion time.
+func (s *Sim) Finish() []Run {
+	var all []Run
+	for _, vm := range s.vms {
+		vm.materialize(1<<62 - 1)
+		all = append(all, vm.runs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].End != all[j].End {
+			return all[i].End < all[j].End
+		}
+		return all[i].Tag < all[j].Tag
+	})
+	return all
+}
+
+// ProvisioningCost returns the Eq. 1 cost of the simulation excluding
+// penalties: each VM's start-up fee plus its processing fees (f_r × executed
+// latency). Call after Finish (or at any point for the cost so far).
+func (s *Sim) ProvisioningCost() float64 {
+	total := 0.0
+	for _, vm := range s.vms {
+		total += vm.Type.StartupCost
+		for _, r := range vm.runs {
+			total += vm.Type.RunningCost(r.End - r.Start)
+		}
+		for _, q := range vm.queue {
+			total += vm.Type.RunningCost(q.latency)
+		}
+	}
+	return total
+}

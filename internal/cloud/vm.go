@@ -1,0 +1,122 @@
+// Package cloud models the IaaS substrate WiSeDB schedules onto (§2, §7.1):
+// VM types with start-up and per-time-unit costs, per-(template, VM-type)
+// latency prediction with optional error injection, and an event-driven
+// execution simulator used to validate schedules and to drive online
+// scheduling.
+//
+// The paper's testbed is a private cloud emulating EC2 t2.medium/t2.small
+// instances running Postgres over a 10 GB TPC-H database. WiSeDB itself never
+// looks at query text or machine internals — it consumes only per-template
+// latency estimates and prices — so a latency-table simulator exercises the
+// same decision logic (see DESIGN.md §4).
+package cloud
+
+import (
+	"fmt"
+	"time"
+
+	"wisedb/internal/workload"
+)
+
+// VMType describes a rentable virtual machine configuration. Costs are in
+// cents, matching the paper's cost model: renting a VM of type i costs a
+// fixed start-up fee f_s^i plus f_r^i per unit of query processing time
+// (Eq. 1).
+type VMType struct {
+	// ID is the dense index of this type within its VM-type set.
+	ID int
+	// Name is a human-readable label, e.g. "t2.medium".
+	Name string
+	// StartupCost is f_s in cents (the paper measured $0.0008).
+	StartupCost float64
+	// RatePerHour is f_r in cents per hour of processing time (the paper
+	// used t2.medium at $0.052/hr).
+	RatePerHour float64
+	// StartupDelay is the wall-clock time between renting the VM and the
+	// VM accepting queries. It affects online simulation, not Eq. 1.
+	StartupDelay time.Duration
+	// HighRAMMultiplier scales the latency of high-RAM templates on this
+	// type. 1.0 means full speed; t2.small-style types use > 1.
+	HighRAMMultiplier float64
+	// SupportsHighRAM reports whether high-RAM templates can run at all
+	// on this type. When false, supports-X is false for those templates
+	// (§4.4, feature 3).
+	SupportsHighRAM bool
+}
+
+// String implements fmt.Stringer.
+func (v VMType) String() string {
+	return fmt.Sprintf("%s(id=%d,%.4f¢/hr)", v.Name, v.ID, v.RatePerHour)
+}
+
+// RunningCost returns the cost in cents of processing for duration d on this
+// VM type: f_r × l (Eq. 1).
+func (v VMType) RunningCost(d time.Duration) float64 {
+	return v.RatePerHour * d.Hours()
+}
+
+// Cents converts dollars to cents.
+func Cents(dollars float64) float64 { return dollars * 100 }
+
+// DefaultVMTypes returns n VM types emulating the paper's setup. The first
+// type is the reference t2.medium ($0.052/hr, $0.0008 start-up). The second
+// is a t2.small-style type: half the price, full speed on low-RAM templates
+// and 1.7× slower on high-RAM ones (§7.2, "Multiple VM Types"). Additional
+// types interpolate between the two regimes so that training-time
+// experiments can scale the type count (Fig. 15).
+func DefaultVMTypes(n int) []VMType {
+	if n <= 0 {
+		panic("cloud: DefaultVMTypes requires n > 0")
+	}
+	types := make([]VMType, n)
+	types[0] = VMType{
+		ID:                0,
+		Name:              "t2.medium",
+		StartupCost:       Cents(0.0008),
+		RatePerHour:       Cents(0.052),
+		StartupDelay:      30 * time.Second,
+		HighRAMMultiplier: 1.0,
+		SupportsHighRAM:   true,
+	}
+	if n >= 2 {
+		// Half the price, full speed on low-RAM templates, but badly
+		// memory-bound on high-RAM ones: 2.2x slower makes high-RAM
+		// processing cost 1.1x the t2.medium price, so good strategies
+		// route only low-RAM queries here (§7.2).
+		types[1] = VMType{
+			ID:                1,
+			Name:              "t2.small",
+			StartupCost:       Cents(0.0008),
+			RatePerHour:       Cents(0.026),
+			StartupDelay:      30 * time.Second,
+			HighRAMMultiplier: 2.2,
+			SupportsHighRAM:   true,
+		}
+	}
+	for i := 2; i < n; i++ {
+		frac := float64(i-1) / float64(n-1)
+		types[i] = VMType{
+			ID:                i,
+			Name:              fmt.Sprintf("synth.%d", i),
+			StartupCost:       Cents(0.0008),
+			RatePerHour:       Cents(0.052) * (1 - 0.5*frac),
+			StartupDelay:      30 * time.Second,
+			HighRAMMultiplier: 1 + frac,
+			SupportsHighRAM:   i%3 != 2,
+		}
+	}
+	return types
+}
+
+// Latency returns the execution latency of a template on this VM type, or
+// false if the type cannot run the template. Queries run in isolation (§7.1),
+// so latency does not depend on co-located queries.
+func (v VMType) Latency(t workload.Template) (time.Duration, bool) {
+	if !t.HighRAM {
+		return t.BaseLatency, true
+	}
+	if !v.SupportsHighRAM {
+		return 0, false
+	}
+	return time.Duration(float64(t.BaseLatency) * v.HighRAMMultiplier), true
+}

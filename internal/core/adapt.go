@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wisedb/internal/dt"
+	"wisedb/internal/features"
+	"wisedb/internal/graph"
+	"wisedb/internal/search"
+	"wisedb/internal/sla"
+)
+
+// Adapt re-trains the model for a stricter goal with minimal work (§5):
+// instead of sampling and searching from scratch, it re-solves the model's
+// retained sample workloads on the same scheduling graphs with updated edge
+// weights, using the adaptive-A* heuristic h'(v) = max(h(v), C* − g_old(v))
+// built from each sample's previous search (Lemma 5.1 proves h' admissible
+// when the new goal is stricter). The model must have been trained with
+// KeepTrainingData.
+//
+// The returned model itself retains training data, so a chain of
+// progressively stricter goals — as built by strategy recommendation — can
+// adapt step by step.
+func (m *Model) Adapt(goal sla.Goal) (*Model, error) {
+	return m.adapt(goal, true)
+}
+
+// adapt implements Adapt; keep controls whether the new model retains its
+// own training data (needed to adapt it further, skipped by one-shot
+// shifts).
+func (m *Model) adapt(goal sla.Goal, keep bool) (*Model, error) {
+	if len(m.samples) == 0 {
+		return nil, fmt.Errorf("core: Adapt requires a model trained with KeepTrainingData")
+	}
+	start := time.Now()
+	prob := graph.NewProblem(m.env, goal)
+	prob.NoSymmetryBreaking = true // as in Train: faster at sample sizes
+	searcher, err := search.New(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: adapt: %w", err)
+	}
+	numLabels := len(m.env.Templates) + len(m.env.VMTypes)
+	ds := &dt.Dataset{FeatureNames: features.Names(len(m.env.Templates)), NumLabels: numLabels}
+	var samples []trainSample
+	for i, s := range m.samples {
+		res, err := searcher.Solve(s.w, search.Options{Reuse: s.reuse, KeepClosed: keep})
+		if err != nil {
+			return nil, fmt.Errorf("core: adapt sample %d: %w", i, err)
+		}
+		addPathToDataset(ds, prob, res.Path)
+		if keep {
+			samples = append(samples, trainSample{w: s.w, reuse: search.ReuseFrom(res)})
+		}
+	}
+	tree := dt.Train(ds, m.TrainingConfig.Tree)
+	return &Model{
+		Goal:           goal,
+		Tree:           tree,
+		TrainingTime:   time.Since(start),
+		TrainingRows:   ds.Len(),
+		TrainingConfig: m.TrainingConfig,
+		env:            m.env,
+		prob:           runtimeProblem(m.env, goal),
+		samples:        samples,
+	}, nil
+}
+
+// Tighten adapts the model to its own goal tightened by fraction p (§7.3's
+// tightening formula).
+func (m *Model) Tighten(p float64) (*Model, error) {
+	if p < 0 {
+		return nil, fmt.Errorf("core: Tighten(p=%g): adaptive re-training requires a stricter goal; train a fresh model for looser ones", p)
+	}
+	return m.Adapt(m.Goal.Tighten(p))
+}
+
+// ShiftedModel adapts the model to its goal linearly shifted by wait d
+// (§6.3's linear-shifting optimization, valid for shiftable goals only:
+// scheduling queries that have waited d equals scheduling fresh queries
+// under a goal tightened by d).
+func (m *Model) ShiftedModel(d time.Duration) (*Model, error) {
+	if !m.Goal.Shiftable() {
+		return nil, fmt.Errorf("core: goal %s is not linearly shiftable", m.Goal.Name())
+	}
+	if d == 0 {
+		return m, nil
+	}
+	return m.adapt(m.Goal.Shift(d), false)
+}

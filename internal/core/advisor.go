@@ -1,0 +1,190 @@
+// Package core implements the WiSeDB advisor itself: decision-model
+// generation (§4), adaptive modeling (§5), strategy recommendation (§6.1),
+// batch scheduling (§6.2), and online scheduling with the model-reuse and
+// linear-shifting optimizations (§6.3).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wisedb/internal/dt"
+	"wisedb/internal/features"
+	"wisedb/internal/graph"
+	"wisedb/internal/schedule"
+	"wisedb/internal/search"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+// TrainConfig tunes decision-model generation (§4.2: N sample workloads of
+// m queries each).
+type TrainConfig struct {
+	// NumSamples is N, the number of random sample workloads. The paper
+	// uses 3000; a few hundred suffice for the relative results and are
+	// the default here (see DESIGN.md's scaling note).
+	NumSamples int
+	// SampleSize is m, the queries per sample workload. The paper uses
+	// 18. It must stay small enough for exact search to be fast.
+	SampleSize int
+	// Seed makes sampling deterministic.
+	Seed int64
+	// Tree configures the decision-tree learner.
+	Tree dt.Config
+	// MaxExpansions bounds per-sample search effort (0 = unlimited).
+	MaxExpansions int
+	// KeepTrainingData retains each sample's workload and search data on
+	// the model so that adaptive modeling (§5) can re-train cheaply.
+	KeepTrainingData bool
+}
+
+// DefaultTrainConfig returns the configuration used by the experiments.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		NumSamples:       500,
+		SampleSize:       12,
+		Seed:             1,
+		Tree:             dt.DefaultConfig(),
+		KeepTrainingData: true,
+	}
+}
+
+// PaperTrainConfig returns the paper's §7.1 training scale (N=3000, m=18).
+func PaperTrainConfig() TrainConfig {
+	cfg := DefaultTrainConfig()
+	cfg.NumSamples = 3000
+	cfg.SampleSize = 18
+	return cfg
+}
+
+// Advisor generates workload-management models for one application
+// environment (template set + VM types + latency predictor).
+type Advisor struct {
+	env *schedule.Env
+	cfg TrainConfig
+}
+
+// NewAdvisor returns an Advisor for the environment.
+func NewAdvisor(env *schedule.Env, cfg TrainConfig) *Advisor {
+	if cfg.NumSamples <= 0 || cfg.SampleSize <= 0 {
+		panic("core: TrainConfig requires positive NumSamples and SampleSize")
+	}
+	return &Advisor{env: env, cfg: cfg}
+}
+
+// Env returns the advisor's environment.
+func (a *Advisor) Env() *schedule.Env { return a.env }
+
+// Config returns the advisor's training configuration.
+func (a *Advisor) Config() TrainConfig { return a.cfg }
+
+// trainSample retains one sample workload and its search byproducts for
+// adaptive re-training.
+type trainSample struct {
+	w     *workload.Workload
+	reuse *search.Reuse
+}
+
+// Model is a trained workload-management strategy (§4.5): a decision tree
+// over the §4.4 features whose leaves are scheduling actions. A model is
+// bound to the goal and environment it was trained for.
+type Model struct {
+	// Goal is the performance goal the model was trained for.
+	Goal sla.Goal
+	// Tree is the learned decision tree.
+	Tree *dt.Tree
+	// TrainingTime is the wall time spent generating the model.
+	TrainingTime time.Duration
+	// TrainingRows is the number of (features, decision) pairs trained on.
+	TrainingRows int
+	// TrainingConfig records the scale the model was trained at; online
+	// scheduling re-trains augmented models at the same scale unless
+	// overridden.
+	TrainingConfig TrainConfig
+
+	env     *schedule.Env
+	prob    *graph.Problem
+	samples []trainSample
+}
+
+// Env returns the environment the model is bound to.
+func (m *Model) Env() *schedule.Env { return m.env }
+
+// Train generates a decision model for the goal (§4): it samples N random
+// workloads of m queries, solves each exactly on the scheduling graph,
+// extracts the §4.4 features from every decision on every optimal path, and
+// fits a decision tree.
+func (a *Advisor) Train(goal sla.Goal) (*Model, error) {
+	start := time.Now()
+	prob := graph.NewProblem(a.env, goal)
+	// The canonical-VM-ordering reduction fragments state merging more
+	// than it prunes at training sample sizes (see the ablation
+	// benchmarks in internal/search), so the training searches run
+	// without it.
+	prob.NoSymmetryBreaking = true
+	searcher, err := search.New(prob)
+	if err != nil {
+		return nil, fmt.Errorf("core: training: %w", err)
+	}
+	sampler := workload.NewSampler(a.env.Templates, a.cfg.Seed)
+	numLabels := len(a.env.Templates) + len(a.env.VMTypes)
+	ds := &dt.Dataset{FeatureNames: features.Names(len(a.env.Templates)), NumLabels: numLabels}
+	var samples []trainSample
+	for i := 0; i < a.cfg.NumSamples; i++ {
+		w := sampler.Uniform(a.cfg.SampleSize)
+		res, err := searcher.Solve(w, search.Options{
+			MaxExpansions: a.cfg.MaxExpansions,
+			KeepClosed:    a.cfg.KeepTrainingData,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: training sample %d: %w", i, err)
+		}
+		addPathToDataset(ds, prob, res.Path)
+		if a.cfg.KeepTrainingData {
+			samples = append(samples, trainSample{w: w, reuse: search.ReuseFrom(res)})
+		}
+	}
+	tree := dt.Train(ds, a.cfg.Tree)
+	return &Model{
+		Goal:           goal,
+		Tree:           tree,
+		TrainingTime:   time.Since(start),
+		TrainingRows:   ds.Len(),
+		TrainingConfig: a.cfg,
+		env:            a.env,
+		prob:           runtimeProblem(a.env, goal),
+		samples:        samples,
+	}, nil
+}
+
+// runtimeProblem returns the graph problem the batch scheduler navigates.
+// The search's canonical-VM-ordering reduction is disabled at runtime: the
+// scheduler follows the tree greedily rather than searching, and the
+// ordering constraint could otherwise dead-end a state (an empty open VM
+// whose remaining templates are all above the bound).
+func runtimeProblem(env *schedule.Env, goal sla.Goal) *graph.Problem {
+	prob := graph.NewProblem(env, goal)
+	prob.NoSymmetryBreaking = true
+	return prob
+}
+
+// addPathToDataset converts each decision on an optimal path into a
+// (features, action-label) training instance.
+func addPathToDataset(ds *dt.Dataset, prob *graph.Problem, path []search.Step) {
+	k := len(prob.Env.Templates)
+	for _, step := range path {
+		ds.Add(features.Extract(prob, step.State), step.Action.Label(k))
+	}
+}
+
+// ActionName renders an action label for model dumps.
+func (m *Model) ActionName(label int) string {
+	a := graph.ActionFromLabel(label, len(m.env.Templates))
+	if a.Kind == graph.Place {
+		return fmt.Sprintf("assign-T%d", a.Template)
+	}
+	return fmt.Sprintf("new-VM-%s", m.env.VMTypes[a.VMType].Name)
+}
+
+// Dump renders the decision tree in the style of the paper's Figure 6.
+func (m *Model) Dump() string { return m.Tree.Dump(m.ActionName) }

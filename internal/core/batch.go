@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wisedb/internal/features"
+	"wisedb/internal/graph"
+	"wisedb/internal/schedule"
+	"wisedb/internal/workload"
+)
+
+// ScheduleBatch produces a complete schedule for a batch workload by
+// repeatedly parsing the decision tree (§4.5's worked example, §6.2): at
+// each step the model maps the current vertex's features to an action,
+// which is applied to reach the next vertex, until every query is assigned.
+//
+// A learned tree can emit an action that is invalid at the current vertex
+// (e.g. new-VM while the open VM is empty, or assign-X with no X
+// unassigned). These are repaired deterministically toward the behavior the
+// tree approximates: an invalid placement falls back to the cheapest valid
+// placement edge, and an invalid start-up becomes the cheapest placement
+// (or vice versa when nothing is placeable). Repairs guarantee progress, so
+// scheduling terminates after at most 2n+1 steps (§7.4's complexity
+// argument: the tree is parsed at most 2n times, O(h) per parse).
+func (m *Model) ScheduleBatch(w *workload.Workload) (*schedule.Schedule, error) {
+	if len(w.Templates) != len(m.env.Templates) {
+		return nil, fmt.Errorf("core: workload has %d templates, model expects %d", len(w.Templates), len(m.env.Templates))
+	}
+	state := m.prob.Start(w)
+	k := len(m.env.Templates)
+	var actions []graph.Action
+	maxSteps := 2*len(w.Queries) + 1
+	for steps := 0; !state.IsGoal(); steps++ {
+		if steps > maxSteps {
+			return nil, fmt.Errorf("core: scheduler failed to make progress after %d steps", steps)
+		}
+		act := graph.ActionFromLabel(m.Tree.Predict(features.Extract(m.prob, state)), k)
+		act = m.repair(state, act)
+		act = m.guardDominatedPlacement(state, act)
+		state = m.prob.Apply(state, act)
+		actions = append(actions, act)
+	}
+	sched := graph.BuildSchedule(actions)
+	retagSchedule(sched, w)
+	return sched, nil
+}
+
+// repair coerces a predicted action into a valid one. Valid predictions
+// pass through untouched.
+func (m *Model) repair(s *graph.State, act graph.Action) graph.Action {
+	switch act.Kind {
+	case graph.Place:
+		if m.prob.CanPlace(s, act.Template) {
+			return act
+		}
+	case graph.Startup:
+		if s.CanStartup() && act.VMType >= 0 && act.VMType < len(m.env.VMTypes) && m.typeUsable(s, act.VMType) {
+			return act
+		}
+	}
+	// Prefer the cheapest valid placement edge: it mirrors the greedy
+	// behavior the tree approximates and always makes progress.
+	if t, ok := m.cheapestPlacement(s); ok {
+		return graph.Action{Kind: graph.Place, Template: t}
+	}
+	// Nothing placeable: rent the VM type that can serve an unassigned
+	// query most cheaply.
+	if vt, ok := m.bestStartupType(s); ok {
+		return graph.Action{Kind: graph.Startup, VMType: vt}
+	}
+	// Unreachable for schedulable workloads: every template runs on some
+	// VM type (checked at training time).
+	panic("core: no valid action available")
+}
+
+// guardDominatedPlacement overrides a placement that is strictly dominated
+// by renting a fresh VM for the same query. For every supported goal,
+// placing a query on an empty VM yields a completion time — and hence a
+// penalty delta — no larger than placing it behind queued work, so whenever
+//
+//	cost(place on open VM) > min over types [f_s + f_r·l + fresh penalty delta]
+//
+// the tree's choice cannot be part of any rational schedule and is replaced
+// by the corresponding start-up action. This breaks the "absorbing leaf"
+// failure mode where a rare misprediction keeps piling queries onto one VM,
+// compounding penalties on every subsequent step; correct placements are
+// never overridden because their cost is at most the fresh-VM alternative
+// (queue consolidation is exactly how schedules avoid start-up fees).
+func (m *Model) guardDominatedPlacement(s *graph.State, act graph.Action) graph.Action {
+	if act.Kind != graph.Place || !s.CanStartup() || len(s.OpenQueue) == 0 {
+		return act
+	}
+	cur, ok := m.prob.PlacementCost(s, act.Template)
+	if !ok {
+		return act
+	}
+	bestType, bestCost := -1, math.Inf(1)
+	for _, vt := range m.env.VMTypes {
+		lat, ok := m.env.Latency(act.Template, vt.ID)
+		if !ok {
+			continue
+		}
+		fresh := vt.StartupCost + vt.RunningCost(lat) +
+			s.Acc.PeekAdd(act.Template, lat) - s.Acc.Penalty()
+		if fresh < bestCost {
+			bestType, bestCost = vt.ID, fresh
+		}
+	}
+	if bestType >= 0 && bestCost < cur-1e-9 {
+		return graph.Action{Kind: graph.Startup, VMType: bestType}
+	}
+	return act
+}
+
+// typeUsable reports whether renting VM type vt could serve any unassigned
+// query.
+func (m *Model) typeUsable(s *graph.State, vt int) bool {
+	for t, c := range s.Unassigned {
+		if c == 0 {
+			continue
+		}
+		if _, ok := m.env.Latency(t, vt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// cheapestPlacement returns the unassigned template with the lowest
+// placement-edge weight on the open VM.
+func (m *Model) cheapestPlacement(s *graph.State) (template int, ok bool) {
+	best := math.Inf(1)
+	for t := range s.Unassigned {
+		c, valid := m.prob.PlacementCost(s, t)
+		if valid && c < best {
+			best = c
+			template = t
+			ok = true
+		}
+	}
+	return template, ok
+}
+
+// bestStartupType returns the VM type minimizing start-up fee plus the
+// cheapest processing cost of any unassigned query it supports.
+func (m *Model) bestStartupType(s *graph.State) (vt int, ok bool) {
+	if !s.CanStartup() {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for _, v := range m.env.VMTypes {
+		cheapest := math.Inf(1)
+		for t, c := range s.Unassigned {
+			if c == 0 {
+				continue
+			}
+			lat, valid := m.env.Latency(t, v.ID)
+			if !valid {
+				continue
+			}
+			if rc := v.RunningCost(lat); rc < cheapest {
+				cheapest = rc
+			}
+		}
+		if math.IsInf(cheapest, 1) {
+			continue
+		}
+		if total := v.StartupCost + cheapest; total < best {
+			best = total
+			vt = v.ID
+			ok = true
+		}
+	}
+	return vt, ok
+}
+
+// retagSchedule rewrites the placeholder tags produced by BuildSchedule
+// with the workload's real query tags, matching instances template by
+// template in workload order.
+func retagSchedule(s *schedule.Schedule, w *workload.Workload) {
+	byTemplate := map[int][]int{}
+	for _, q := range w.Queries {
+		byTemplate[q.TemplateID] = append(byTemplate[q.TemplateID], q.Tag)
+	}
+	for vi := range s.VMs {
+		for qi := range s.VMs[vi].Queue {
+			t := s.VMs[vi].Queue[qi].TemplateID
+			tags := byTemplate[t]
+			if len(tags) == 0 {
+				continue // schedule/workload mismatch surfaces in Validate
+			}
+			s.VMs[vi].Queue[qi].Tag = tags[0]
+			byTemplate[t] = tags[1:]
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+// OnlineOptions tunes online scheduling (§6.3).
+type OnlineOptions struct {
+	// Reuse enables the model-reuse optimization (§6.3.1): models built
+	// for a given pattern of query waits (the ω-map) are cached and
+	// reused when the same pattern recurs.
+	Reuse bool
+	// Shift enables the linear-shifting optimization (§6.3.1): for
+	// shiftable goals (Max, PerQuery), a batch whose queries have waited
+	// is scheduled by adaptively shifting the base model's goal instead
+	// of training a model for augmented templates.
+	Shift bool
+	// WaitResolution buckets query waits when keying cached models and
+	// building augmented templates; the paper observes two batches can
+	// share a model when their ω differ by less than the latency
+	// predictor's error. Default 1s.
+	WaitResolution time.Duration
+	// Retrain configures the from-scratch training used when neither
+	// optimization applies. A zero value (NumSamples == 0) re-trains at
+	// the base model's own scale — the paper's unoptimized baseline.
+	Retrain TrainConfig
+}
+
+// DefaultOnlineOptions enables both optimizations and re-trains augmented
+// models at the base model's scale when training from scratch is required.
+func DefaultOnlineOptions() OnlineOptions {
+	return OnlineOptions{
+		Reuse:          true,
+		Shift:          true,
+		WaitResolution: time.Second,
+	}
+}
+
+// OnlineResult reports the outcome of scheduling an arrival stream.
+type OnlineResult struct {
+	// Cost is the total monetary cost in cents: start-up fees,
+	// processing fees, and the goal penalty over true query latencies
+	// (completion − arrival).
+	Cost float64
+	// Penalty is the SLA penalty component of Cost.
+	Penalty float64
+	// Perf holds each query's true latency.
+	Perf []sla.QueryPerf
+	// VMsRented counts VMs provisioned over the stream.
+	VMsRented int
+	// SchedulingTime is the total advisor time across arrivals (model
+	// acquisition + tree parsing) — the overhead Fig. 19 reports.
+	SchedulingTime time.Duration
+	// PerArrival holds the advisor time of each arrival event.
+	PerArrival []time.Duration
+	// Retrainings counts models built from scratch; Adaptations counts
+	// models derived by shifting; CacheHits counts ω-map reuses.
+	Retrainings, Adaptations, CacheHits int
+}
+
+// augKey identifies a "new template" (§6.3): an original template plus a
+// bucketed wait.
+type augKey struct {
+	template int
+	wait     time.Duration
+}
+
+// OnlineScheduler schedules queries one at a time (§6.3) using a base model
+// and an execution simulator: each arrival re-batches every query that has
+// not started executing, inflates waited queries' latencies as "new
+// templates" (or shifts the goal, when enabled), obtains a model for the
+// augmented specification, and re-schedules the batch.
+type OnlineScheduler struct {
+	base *Model
+	opts OnlineOptions
+
+	sim       *cloud.Sim
+	arrival   map[int]time.Duration // query tag -> arrival time
+	template  map[int]int           // query tag -> original template
+	shiftedBy map[time.Duration]*Model
+	augmented map[string]*Model
+	res       *OnlineResult
+}
+
+// NewOnlineScheduler returns a scheduler driven by the base model. The
+// Shift optimization additionally requires the base model to retain
+// training data (KeepTrainingData) and a shiftable goal.
+func NewOnlineScheduler(base *Model, opts OnlineOptions) *OnlineScheduler {
+	if opts.WaitResolution <= 0 {
+		opts.WaitResolution = time.Second
+	}
+	if opts.Retrain.NumSamples == 0 {
+		opts.Retrain = base.TrainingConfig
+		opts.Retrain.KeepTrainingData = false
+	}
+	return &OnlineScheduler{
+		base:      base,
+		opts:      opts,
+		sim:       cloud.NewSim(),
+		arrival:   map[int]time.Duration{},
+		template:  map[int]int{},
+		shiftedBy: map[time.Duration]*Model{},
+		augmented: map[string]*Model{},
+		res:       &OnlineResult{},
+	}
+}
+
+// Run schedules the workload's queries at their arrival times and simulates
+// execution to completion.
+func (o *OnlineScheduler) Run(w *workload.Workload) (*OnlineResult, error) {
+	if len(w.Templates) != len(o.base.env.Templates) {
+		return nil, fmt.Errorf("core: online workload has %d templates, model expects %d", len(w.Templates), len(o.base.env.Templates))
+	}
+	queries := append([]workload.Query(nil), w.Queries...)
+	sort.SliceStable(queries, func(i, j int) bool { return queries[i].Arrival < queries[j].Arrival })
+	for i := 0; i < len(queries); {
+		// Queries arriving at the same instant form one batch event.
+		t := queries[i].Arrival
+		var arrived []workload.Query
+		for i < len(queries) && queries[i].Arrival == t {
+			arrived = append(arrived, queries[i])
+			i++
+		}
+		if err := o.onArrival(t, arrived); err != nil {
+			return nil, err
+		}
+	}
+	o.finish()
+	return o.res, nil
+}
+
+// onArrival handles one arrival event at time t (§6.3): revoke unstarted
+// queries, form the batch B_i, obtain a model for the waited queries, and
+// re-schedule.
+func (o *OnlineScheduler) onArrival(t time.Duration, arrived []workload.Query) error {
+	for _, q := range arrived {
+		o.arrival[q.Tag] = t
+		o.template[q.Tag] = q.TemplateID
+	}
+	batch := make([]int, 0, len(arrived))
+	for _, vm := range o.sim.VMs() {
+		batch = append(batch, vm.RevokeUnstarted(t)...)
+	}
+	for _, q := range arrived {
+		batch = append(batch, q.Tag)
+	}
+	sort.Ints(batch)
+
+	begin := time.Now()
+	sched, err := o.scheduleBatch(t, batch)
+	if err != nil {
+		return err
+	}
+	o.place(t, sched)
+	elapsed := time.Since(begin)
+	o.res.SchedulingTime += elapsed
+	o.res.PerArrival = append(o.res.PerArrival, elapsed)
+	return nil
+}
+
+// waitBucket floors a wait to the configured resolution.
+func (o *OnlineScheduler) waitBucket(w time.Duration) time.Duration {
+	return w - w%o.opts.WaitResolution
+}
+
+// scheduleBatch obtains a model appropriate for the batch's wait pattern
+// and produces an abstract schedule whose Placed tags are real query tags.
+func (o *OnlineScheduler) scheduleBatch(t time.Duration, batch []int) (*schedule.Schedule, error) {
+	maxWait := time.Duration(0)
+	allFresh := true
+	for _, tag := range batch {
+		w := o.waitBucket(t - o.arrival[tag])
+		if w > 0 {
+			allFresh = false
+		}
+		if w > maxWait {
+			maxWait = w
+		}
+	}
+	switch {
+	case allFresh:
+		return o.scheduleWith(o.base, batch)
+	case o.opts.Shift && o.base.Goal.Shiftable():
+		m, err := o.shiftedModel(maxWait)
+		if err != nil {
+			return nil, err
+		}
+		return o.scheduleWith(m, batch)
+	default:
+		return o.scheduleAugmented(t, batch)
+	}
+}
+
+// shiftedModel returns a model for the goal shifted by w, adapting the base
+// model (§5) and caching by bucket when Reuse is on.
+func (o *OnlineScheduler) shiftedModel(w time.Duration) (*Model, error) {
+	if o.opts.Reuse {
+		if m, ok := o.shiftedBy[w]; ok {
+			o.res.CacheHits++
+			return m, nil
+		}
+	}
+	m, err := o.base.ShiftedModel(w)
+	if err != nil {
+		return nil, err
+	}
+	o.res.Adaptations++
+	if o.opts.Reuse {
+		o.shiftedBy[w] = m
+	}
+	return m, nil
+}
+
+// scheduleAugmented builds the "new template" specification of §6.3: each
+// distinct (template, wait) pair among waited queries becomes an extra
+// template whose latency is inflated by the wait, a model is trained for
+// the augmented specification (or fetched from the ω-map when Reuse is on),
+// and the batch is scheduled against it.
+func (o *OnlineScheduler) scheduleAugmented(t time.Duration, batch []int) (*schedule.Schedule, error) {
+	base := o.base.env.Templates
+	augID := map[augKey]int{}
+	templates := append([]workload.Template(nil), base...)
+	queryTemplate := make([]int, len(batch)) // batch index -> (augmented) template ID
+	var keyParts []string
+	for i, tag := range batch {
+		orig := o.template[tag]
+		w := o.waitBucket(t - o.arrival[tag])
+		if w == 0 {
+			queryTemplate[i] = orig
+			continue
+		}
+		k := augKey{template: orig, wait: w}
+		id, ok := augID[k]
+		if !ok {
+			id = len(templates)
+			augID[k] = id
+			ot := base[orig]
+			templates = append(templates, workload.Template{
+				ID:          id,
+				Name:        fmt.Sprintf("%s+%s", ot.Name, w),
+				BaseLatency: ot.BaseLatency + w,
+				HighRAM:     ot.HighRAM,
+			})
+			keyParts = append(keyParts, fmt.Sprintf("%d@%d", orig, w/o.opts.WaitResolution))
+		}
+		queryTemplate[i] = id
+	}
+
+	sort.Strings(keyParts)
+	cacheKey := strings.Join(keyParts, ",")
+	var m *Model
+	if o.opts.Reuse {
+		if cached, ok := o.augmented[cacheKey]; ok {
+			o.res.CacheHits++
+			m = cached
+		}
+	}
+	if m == nil {
+		env := &schedule.Env{Templates: templates, VMTypes: o.base.env.VMTypes, Pred: o.base.env.Pred}
+		goal, err := augmentGoal(o.base.Goal, base, augID)
+		if err != nil {
+			return nil, err
+		}
+		adv := NewAdvisor(env, o.opts.Retrain)
+		m, err = adv.Train(goal)
+		if err != nil {
+			return nil, err
+		}
+		o.res.Retrainings++
+		if o.opts.Reuse {
+			o.augmented[cacheKey] = m
+		}
+	}
+
+	counts := make([]workload.Query, len(batch))
+	for i, tag := range batch {
+		counts[i] = workload.Query{TemplateID: queryTemplate[i], Tag: tag}
+	}
+	w := &workload.Workload{Templates: m.env.Templates, Queries: counts}
+	return m.ScheduleBatch(w)
+}
+
+// augmentGoal extends a goal to cover augmented templates. Workload-level
+// goals (Max, Average, Percentile) apply unchanged — the inflated latency
+// feeds straight into their penalty. PerQuery goals give each augmented
+// template the deadline of the template it derives from: a query that has
+// waited w and then takes (queue + execution) time q has true latency
+// w + q, and comparing the inflated-latency completion to the original
+// deadline computes exactly that.
+func augmentGoal(g sla.Goal, base []workload.Template, augID map[augKey]int) (sla.Goal, error) {
+	pq, ok := g.(sla.PerQuery)
+	if !ok {
+		return g, nil
+	}
+	// Order augmented IDs densely after the base templates.
+	type entry struct {
+		id   int
+		orig int
+		wait time.Duration
+	}
+	entries := make([]entry, 0, len(augID))
+	for k, id := range augID {
+		entries = append(entries, entry{id: id, orig: k.template, wait: k.wait})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	for _, e := range entries {
+		if e.id != len(pq.Deadlines) {
+			return nil, fmt.Errorf("core: augmented template IDs not dense: got %d, want %d", e.id, len(pq.Deadlines))
+		}
+		pq = pq.WithExtraTemplate(pq.Deadline(e.orig), base[e.orig].BaseLatency+e.wait)
+	}
+	return pq, nil
+}
+
+// scheduleWith runs the model's batch scheduler over real query tags using
+// the original template of each query.
+func (o *OnlineScheduler) scheduleWith(m *Model, batch []int) (*schedule.Schedule, error) {
+	queries := make([]workload.Query, len(batch))
+	for i, tag := range batch {
+		queries[i] = workload.Query{TemplateID: o.template[tag], Tag: tag}
+	}
+	w := &workload.Workload{Templates: m.env.Templates, Queries: queries}
+	return m.ScheduleBatch(w)
+}
+
+// place maps the abstract VMs of a schedule onto physical simulator VMs:
+// abstract VM j of type i goes to the free-soonest active physical VM of
+// type i with no queued work, renting a new VM otherwise (DESIGN.md §2,
+// "online scheduling interpretation"). Queries are enqueued with their true
+// execution latency on the physical VM's type.
+func (o *OnlineScheduler) place(t time.Duration, sched *schedule.Schedule) {
+	type candidate struct {
+		vm   *cloud.SimVM
+		free time.Duration
+	}
+	available := map[int][]candidate{} // VM type -> idle-soonest candidates
+	for _, vm := range o.sim.VMs() {
+		available[vm.Type.ID] = append(available[vm.Type.ID], candidate{vm: vm, free: vm.NextFree(t)})
+	}
+	for ti := range available {
+		sort.Slice(available[ti], func(i, j int) bool { return available[ti][i].free < available[ti][j].free })
+	}
+	for _, avm := range sched.VMs {
+		var target *cloud.SimVM
+		if cands := available[avm.TypeID]; len(cands) > 0 {
+			target = cands[0].vm
+			available[avm.TypeID] = cands[1:]
+		} else {
+			target = o.sim.Rent(o.base.env.VMTypes[avm.TypeID], t)
+			o.res.VMsRented++
+		}
+		for _, q := range avm.Queue {
+			orig := o.template[q.Tag]
+			lat, ok := o.base.env.Latency(orig, target.Type.ID)
+			if !ok {
+				lat = 1000 * time.Hour
+			}
+			target.Enqueue(q.Tag, orig, lat)
+		}
+	}
+}
+
+// finish drains the simulation and computes the final cost: provisioning
+// from the simulator plus the goal's penalty over true latencies
+// (completion − arrival).
+func (o *OnlineScheduler) finish() {
+	runs := o.sim.Finish()
+	perf := make([]sla.QueryPerf, len(runs))
+	for i, r := range runs {
+		perf[i] = sla.QueryPerf{TemplateID: r.TemplateID, Latency: r.End - o.arrival[r.Tag]}
+	}
+	o.res.Perf = perf
+	o.res.Penalty = o.base.Goal.Penalty(perf)
+	o.res.Cost = o.sim.ProvisioningCost() + o.res.Penalty
+}

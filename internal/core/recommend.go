@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wisedb/internal/sla"
+	"wisedb/internal/stats"
+	"wisedb/internal/workload"
+)
+
+// Strategy is one recommended workload-execution strategy (§6.1): a decision
+// model plus a per-template cost profile that parameterizes the strategy's
+// cost-estimation function. Applications pick the strategy whose
+// performance/cost trade-off suits them and call EstimateCost with the
+// template mix of an anticipated workload.
+type Strategy struct {
+	// Model executes workloads under this strategy's performance goal.
+	Model *Model
+	// AvgTemplateCost is the average cost in cents of one query of each
+	// template under this strategy, measured on a large random sample
+	// workload. It drives EstimateCost and the EMD-based tier selection.
+	AvgTemplateCost []float64
+}
+
+// EstimateCost predicts the cost in cents of executing a workload with the
+// given number of instances per template (§6.1: "a cost estimation function
+// that takes as a parameter the number of instances per query template").
+func (s *Strategy) EstimateCost(countsPerTemplate []int) float64 {
+	total := 0.0
+	for t, c := range countsPerTemplate {
+		if t < len(s.AvgTemplateCost) {
+			total += float64(c) * s.AvgTemplateCost[t]
+		}
+	}
+	return total
+}
+
+// RecommendConfig tunes strategy recommendation.
+type RecommendConfig struct {
+	// K is the number of strategies to present (§6.1's k).
+	K int
+	// CandidateCount is the length n of the candidate goal sequence
+	// R_1..R_n; the application goal sits at its median.
+	CandidateCount int
+	// MaxTighten and MaxLoosen bound the strictness range explored, as
+	// tightening fractions (§7.3 formula); the candidates interpolate
+	// between −MaxLoosen and +MaxTighten.
+	MaxTighten, MaxLoosen float64
+	// ProfileWorkloadSize is the size of the random workload used to
+	// measure per-template average costs.
+	ProfileWorkloadSize int
+	// Seed drives the profiling workload sampler.
+	Seed int64
+}
+
+// DefaultRecommendConfig mirrors the paper's setup: a handful of tiers
+// spanning looser-to-stricter goals around the application's.
+func DefaultRecommendConfig() RecommendConfig {
+	return RecommendConfig{
+		K:                   3,
+		CandidateCount:      7,
+		MaxTighten:          0.6,
+		MaxLoosen:           0.6,
+		ProfileWorkloadSize: 200,
+		Seed:                99,
+	}
+}
+
+// Recommend generates k alternative strategies around the application's
+// goal (§6.1): it builds a sequence of performance goals in increasing
+// strictness with the application's goal as the median, trains the loosest
+// fresh and adapts it step by step to each stricter goal (§5), profiles the
+// average per-template cost of each resulting model on a large random
+// workload, and prunes the sequence by repeatedly dropping the goal whose
+// per-template cost profile is closest (by Earth Mover's Distance) to its
+// predecessor's, until k remain.
+func (a *Advisor) Recommend(goal sla.Goal, cfg RecommendConfig) ([]*Strategy, error) {
+	if cfg.K <= 0 || cfg.CandidateCount < cfg.K {
+		return nil, fmt.Errorf("core: Recommend requires 0 < K <= CandidateCount, got K=%d n=%d", cfg.K, cfg.CandidateCount)
+	}
+	// Candidate tightening fractions relative to the application's goal,
+	// loosest first so each successive goal is stricter and adaptive
+	// re-training applies (§5 considers only stricter goals; "one can
+	// start with a substantially loose performance goal and restrict it
+	// incrementally").
+	fractions := make([]float64, cfg.CandidateCount)
+	for i := range fractions {
+		frac := 0.0
+		if cfg.CandidateCount > 1 {
+			frac = float64(i) / float64(cfg.CandidateCount-1)
+		}
+		fractions[i] = -cfg.MaxLoosen + frac*(cfg.MaxLoosen+cfg.MaxTighten)
+	}
+
+	// Train the loosest candidate fresh, then adapt forward. Adapting
+	// from the previous candidate needs its training data, which Adapt
+	// retains.
+	loosest := goal.Tighten(fractions[0])
+	prev, err := a.Train(loosest)
+	if err != nil {
+		return nil, err
+	}
+	models := []*Model{prev}
+	for _, p := range fractions[1:] {
+		next, err := prev.Adapt(goal.Tighten(p))
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, next)
+		prev = next
+	}
+
+	// Profile each model's average per-template cost on one shared
+	// random workload (§6.1: no workload execution needed — the cost
+	// model prices the schedule).
+	sampler := workload.NewSampler(a.env.Templates, cfg.Seed)
+	profileW := sampler.Uniform(cfg.ProfileWorkloadSize)
+	strategies := make([]*Strategy, 0, len(models))
+	for _, m := range models {
+		profile, err := templateCostProfile(m, profileW)
+		if err != nil {
+			return nil, err
+		}
+		strategies = append(strategies, &Strategy{Model: m, AvgTemplateCost: profile})
+	}
+
+	// Prune: repeatedly remove the successor of the closest adjacent
+	// pair under EMD until k tiers remain (§6.1).
+	for len(strategies) > cfg.K {
+		minIdx, minDist := -1, math.Inf(1)
+		for i := 0; i+1 < len(strategies); i++ {
+			d := stats.EMD1D(strategies[i].AvgTemplateCost, strategies[i+1].AvgTemplateCost)
+			if d < minDist {
+				minDist = d
+				minIdx = i
+			}
+		}
+		strategies = append(strategies[:minIdx+1], strategies[minIdx+2:]...)
+	}
+	return strategies, nil
+}
+
+// templateCostProfile schedules the profiling workload with the model and
+// attributes the schedule's total cost to templates: each query carries its
+// own processing cost plus an equal share of its VM's start-up fee, and the
+// penalty is split evenly across all queries. The result is the average
+// cost per query of each template.
+func templateCostProfile(m *Model, w *workload.Workload) ([]float64, error) {
+	sched, err := m.ScheduleBatch(w)
+	if err != nil {
+		return nil, err
+	}
+	k := len(m.env.Templates)
+	costs := make([]float64, k)
+	counts := make([]int, k)
+	n := sched.NumQueries()
+	penaltyShare := 0.0
+	if n > 0 {
+		penaltyShare = sched.Penalty(m.env, m.Goal) / float64(n)
+	}
+	for _, vm := range sched.VMs {
+		vt := m.env.VMTypes[vm.TypeID]
+		startShare := vt.StartupCost / float64(len(vm.Queue))
+		for _, q := range vm.Queue {
+			lat, ok := m.env.Latency(q.TemplateID, vm.TypeID)
+			if !ok {
+				continue
+			}
+			costs[q.TemplateID] += vt.RunningCost(lat) + startShare + penaltyShare
+			counts[q.TemplateID]++
+		}
+	}
+	for t := range costs {
+		if counts[t] > 0 {
+			costs[t] /= float64(counts[t])
+		}
+	}
+	return costs, nil
+}

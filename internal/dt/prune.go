@@ -1,0 +1,76 @@
+package dt
+
+import "math"
+
+// Pessimistic error pruning, following C4.5: the training error rate f at a
+// node is replaced by the upper limit of its confidence interval (treating
+// the n training instances as a binomial sample), and a subtree is replaced
+// by a leaf whenever the leaf's pessimistic error count does not exceed the
+// sum over its children's.
+
+// pruneNode prunes the subtree rooted at n in place and returns its
+// pessimistic error count. z is the standard-normal upper quantile for the
+// pruning confidence.
+func pruneNode(n *Node, z float64) float64 {
+	if n.Leaf {
+		return pessimisticErrors(n.n, n.errs, z)
+	}
+	subtree := pruneNode(n.Left, z) + pruneNode(n.Right, z)
+	asLeaf := pessimisticErrors(n.n, n.errs, z)
+	if asLeaf <= subtree+1e-9 {
+		n.Leaf = true
+		n.Left, n.Right = nil, nil
+		return asLeaf
+	}
+	return subtree
+}
+
+// pessimisticErrors returns n × UCF(errs/n), the expected error count at the
+// upper confidence limit (C4.5 eq. for the binomial upper bound).
+func pessimisticErrors(n, errs int, z float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	f := float64(errs) / float64(n)
+	N := float64(n)
+	z2 := z * z
+	upper := (f + z2/(2*N) + z*math.Sqrt(f/N-f*f/N+z2/(4*N*N))) / (1 + z2/N)
+	return upper * N
+}
+
+// normalUpperQuantile returns z such that P(Z > z) = p for a standard
+// normal Z, via the Acklam rational approximation of the inverse normal
+// CDF (relative error < 1.15e-9 on (0,1)).
+func normalUpperQuantile(p float64) float64 {
+	return -inverseNormalCDF(p)
+}
+
+func inverseNormalCDF(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("dt: inverseNormalCDF requires 0 < p < 1")
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

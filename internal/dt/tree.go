@@ -1,0 +1,318 @@
+// Package dt implements the decision-tree classifier WiSeDB learns its
+// workload-management models with (§4.5). The paper uses Weka's J48, an
+// implementation of C4.5; this package reproduces the relevant subset from
+// scratch: binary splits on numeric features (booleans are encoded 0/1),
+// split selection by information gain ratio, and C4.5-style pessimistic
+// error pruning.
+//
+// Trees map feature vectors extracted from scheduling-graph vertices (§4.4)
+// to actions (place a template / rent a VM type); see Figure 6 of the paper
+// for the intended shape.
+package dt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dataset is a labeled training set: X[i] is a feature vector, Y[i] its
+// class label in [0, NumLabels).
+type Dataset struct {
+	// FeatureNames names each column of X, for rendering and debugging.
+	FeatureNames []string
+	// X holds one row per training instance.
+	X [][]float64
+	// Y holds the class label of each row.
+	Y []int
+	// NumLabels is the size of the label domain.
+	NumLabels int
+}
+
+// Add appends a labeled instance.
+func (d *Dataset) Add(x []float64, y int) {
+	if len(d.X) > 0 && len(x) != len(d.X[0]) {
+		panic(fmt.Sprintf("dt: instance has %d features, dataset has %d", len(x), len(d.X[0])))
+	}
+	if y < 0 || y >= d.NumLabels {
+		panic(fmt.Sprintf("dt: label %d outside [0,%d)", y, d.NumLabels))
+	}
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Node is a decision-tree node. Internal nodes test x[Feature] < Threshold
+// and descend Left on true, Right on false. Leaves predict Label.
+type Node struct {
+	Leaf      bool
+	Label     int
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+	// n and errs carry the training distribution used by pruning:
+	// instances reaching the node and instances misclassified by the
+	// node's majority label.
+	n    int
+	errs int
+}
+
+// Tree is a trained decision-tree classifier.
+type Tree struct {
+	Root         *Node
+	FeatureNames []string
+	NumLabels    int
+}
+
+// Config tunes training.
+type Config struct {
+	// MinLeaf is the minimum number of instances in a leaf (J48's -M,
+	// default 2).
+	MinLeaf int
+	// MaxDepth bounds tree depth; 0 means unlimited.
+	MaxDepth int
+	// Prune enables C4.5 pessimistic error pruning (on by default in
+	// J48); confidence is PruneConfidence (J48's -C, default 0.25).
+	Prune           bool
+	PruneConfidence float64
+}
+
+// DefaultConfig mirrors J48's defaults.
+func DefaultConfig() Config {
+	return Config{MinLeaf: 2, MaxDepth: 0, Prune: true, PruneConfidence: 0.25}
+}
+
+// Train fits a decision tree to the dataset. Training is deterministic:
+// ties between splits are broken by feature index, then threshold.
+func Train(ds *Dataset, cfg Config) *Tree {
+	if ds.Len() == 0 {
+		panic("dt: Train on empty dataset")
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 2
+	}
+	if cfg.PruneConfidence <= 0 {
+		cfg.PruneConfidence = 0.25
+	}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{ds: ds, cfg: cfg}
+	root := b.build(idx, 0)
+	if cfg.Prune {
+		z := normalUpperQuantile(cfg.PruneConfidence)
+		pruneNode(root, z)
+	}
+	return &Tree{Root: root, FeatureNames: ds.FeatureNames, NumLabels: ds.NumLabels}
+}
+
+// Predict returns the class label for a feature vector.
+func (t *Tree) Predict(x []float64) int {
+	n := t.Root
+	for !n.Leaf {
+		if x[n.Feature] < n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Label
+}
+
+// Height returns the height of the tree (a single leaf has height 1).
+func (t *Tree) Height() int { return height(t.Root) }
+
+func height(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	l, r := height(n.Left), height(n.Right)
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int { return countLeaves(t.Root) }
+
+func countLeaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+// Dump renders the tree in an indented text form resembling the paper's
+// Figure 6. labelName maps class labels to action names.
+func (t *Tree) Dump(labelName func(int) string) string {
+	var b strings.Builder
+	dumpNode(&b, t.Root, t.FeatureNames, labelName, 0)
+	return b.String()
+}
+
+func dumpNode(b *strings.Builder, n *Node, features []string, labelName func(int) string, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Leaf {
+		fmt.Fprintf(b, "%s=> %s (n=%d)\n", indent, labelName(n.Label), n.n)
+		return
+	}
+	name := fmt.Sprintf("f%d", n.Feature)
+	if n.Feature < len(features) {
+		name = features[n.Feature]
+	}
+	fmt.Fprintf(b, "%s%s < %.4g?\n", indent, name, n.Threshold)
+	dumpNode(b, n.Left, features, labelName, depth+1)
+	dumpNode(b, n.Right, features, labelName, depth+1)
+}
+
+type builder struct {
+	ds  *Dataset
+	cfg Config
+}
+
+// build grows a subtree over the instances in idx.
+func (b *builder) build(idx []int, depth int) *Node {
+	counts := make([]int, b.ds.NumLabels)
+	for _, i := range idx {
+		counts[b.ds.Y[i]]++
+	}
+	label, labelCount := majority(counts)
+	node := &Node{Label: label, n: len(idx), errs: len(idx) - labelCount}
+	if labelCount == len(idx) || len(idx) < 2*b.cfg.MinLeaf ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		node.Leaf = true
+		return node
+	}
+	feature, threshold, ok := b.bestSplit(idx, counts)
+	if !ok {
+		node.Leaf = true
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.ds.X[i][feature] < threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	node.Feature = feature
+	node.Threshold = threshold
+	node.Left = b.build(left, depth+1)
+	node.Right = b.build(right, depth+1)
+	return node
+}
+
+// bestSplit finds the (feature, threshold) with the highest gain ratio
+// among splits with positive information gain that respect MinLeaf.
+func (b *builder) bestSplit(idx []int, counts []int) (feature int, threshold float64, ok bool) {
+	base := entropy(counts, len(idx))
+	bestRatio := 0.0
+	numFeatures := len(b.ds.X[idx[0]])
+	type pair struct {
+		v float64
+		y int
+	}
+	pairs := make([]pair, len(idx))
+	leftCounts := make([]int, b.ds.NumLabels)
+	rightCounts := make([]int, b.ds.NumLabels)
+	for f := 0; f < numFeatures; f++ {
+		for j, i := range idx {
+			pairs[j] = pair{v: b.ds.X[i][f], y: b.ds.Y[i]}
+		}
+		sort.Slice(pairs, func(a, c int) bool { return pairs[a].v < pairs[c].v })
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		copy(rightCounts, counts)
+		nLeft := 0
+		for j := 0; j < len(pairs)-1; j++ {
+			leftCounts[pairs[j].y]++
+			rightCounts[pairs[j].y]--
+			nLeft++
+			if pairs[j].v == pairs[j+1].v {
+				continue // threshold must separate distinct values
+			}
+			nRight := len(pairs) - nLeft
+			if nLeft < b.cfg.MinLeaf || nRight < b.cfg.MinLeaf {
+				continue
+			}
+			pl := float64(nLeft) / float64(len(pairs))
+			gain := base - pl*entropy(leftCounts, nLeft) - (1-pl)*entropy(rightCounts, nRight)
+			if gain <= 1e-12 {
+				continue
+			}
+			splitInfo := -pl*math.Log2(pl) - (1-pl)*math.Log2(1-pl)
+			if splitInfo <= 1e-12 {
+				continue
+			}
+			ratio := gain / splitInfo
+			if ratio > bestRatio+1e-12 {
+				bestRatio = ratio
+				feature = f
+				threshold = midpoint(pairs[j].v, pairs[j+1].v)
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// midpoint returns a threshold strictly between a and b (a < b), robust to
+// the large sentinel values used for "infinite cost" features.
+func midpoint(a, b float64) float64 {
+	m := a + (b-a)/2
+	if m <= a { // adjacent floats
+		m = b
+	}
+	return m
+}
+
+func majority(counts []int) (label, count int) {
+	for l, c := range counts {
+		if c > count {
+			label, count = l, c
+		}
+	}
+	return label, count
+}
+
+func entropy(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(n)
+		e -= p * math.Log2(p)
+	}
+	return e
+}

@@ -1,0 +1,274 @@
+package dt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func datasetFrom(x [][]float64, y []int, numLabels int) *Dataset {
+	ds := &Dataset{NumLabels: numLabels}
+	for i := range x {
+		ds.Add(x[i], y[i])
+	}
+	return ds
+}
+
+// A linearly separable problem must be learned exactly.
+func TestTrainSeparable(t *testing.T) {
+	var x [][]float64
+	var y []int
+	for i := 0; i < 50; i++ {
+		v := float64(i)
+		x = append(x, []float64{v, -v})
+		label := 0
+		if v >= 25 {
+			label = 1
+		}
+		y = append(y, label)
+	}
+	tree := Train(datasetFrom(x, y, 2), DefaultConfig())
+	for i := range x {
+		if got := tree.Predict(x[i]); got != y[i] {
+			t.Fatalf("x=%v: want %d, got %d", x[i], y[i], got)
+		}
+	}
+	if h := tree.Height(); h != 2 {
+		t.Fatalf("separable problem should yield a single split, height=%d", h)
+	}
+}
+
+// XOR needs two levels of splits; a single split cannot express it. Note a
+// perfectly class-balanced XOR has zero information gain at the root (C4.5
+// cannot split it either), so this uses sampled points whose sampling
+// imbalance makes the gain positive, as in any real training set.
+func TestTrainXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		label := 0
+		if (a < 0.5) != (b < 0.5) {
+			label = 1
+		}
+		x = append(x, []float64{a, b})
+		y = append(y, label)
+	}
+	tree := Train(datasetFrom(x, y, 2), Config{MinLeaf: 1, Prune: false})
+	correct := 0
+	for i := range x {
+		if tree.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	if correct < len(x)*98/100 {
+		t.Fatalf("xor: %d/%d correct", correct, len(x))
+	}
+	if tree.Height() < 3 {
+		t.Fatalf("xor requires nested splits, height=%d", tree.Height())
+	}
+}
+
+// Pruning must never grow the tree and must keep training accuracy on a
+// noiseless separable problem.
+func TestPruneShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		v := rng.Float64()
+		label := 0
+		if v > 0.5 {
+			label = 1
+		}
+		if rng.Float64() < 0.15 { // label noise to give pruning work
+			label = 1 - label
+		}
+		x = append(x, []float64{v, rng.Float64()})
+		y = append(y, label)
+	}
+	unpruned := Train(datasetFrom(x, y, 2), Config{MinLeaf: 2, Prune: false})
+	pruned := Train(datasetFrom(x, y, 2), Config{MinLeaf: 2, Prune: true})
+	if pruned.NumNodes() > unpruned.NumNodes() {
+		t.Fatalf("pruned tree has %d nodes, unpruned %d", pruned.NumNodes(), unpruned.NumNodes())
+	}
+	// The dominant structure (the 0.5 split) must survive pruning.
+	correct := 0
+	for i := 0; i < 200; i++ {
+		v := rng.Float64()
+		want := 0
+		if v > 0.5 {
+			want = 1
+		}
+		if pruned.Predict([]float64{v, rng.Float64()}) == want {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Fatalf("pruned tree generalizes poorly: %d/200", correct)
+	}
+}
+
+// Training must be deterministic.
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		y = append(y, rng.Intn(3))
+	}
+	t1 := Train(datasetFrom(x, y, 3), DefaultConfig())
+	t2 := Train(datasetFrom(x, y, 3), DefaultConfig())
+	if t1.Dump(labelNum) != t2.Dump(labelNum) {
+		t.Fatal("two trainings on identical data produced different trees")
+	}
+}
+
+func labelNum(l int) string { return fmt.Sprintf("L%d", l) }
+
+// Property: every prediction is a valid label, and leaves always carry the
+// majority class of some training subset (so predictions are labels seen in
+// training).
+func TestPredictAlwaysValidLabel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		labels := 2 + rng.Intn(4)
+		ds := &Dataset{NumLabels: labels}
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			y := rng.Intn(labels)
+			seen[y] = true
+			ds.Add([]float64{rng.NormFloat64(), rng.NormFloat64()}, y)
+		}
+		tree := Train(ds, DefaultConfig())
+		for i := 0; i < 50; i++ {
+			got := tree.Predict([]float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+			if got < 0 || got >= labels || !seen[got] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinLeaf is respected by every internal split.
+func TestMinLeafRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ds := &Dataset{NumLabels: 2}
+	for i := 0; i < 500; i++ {
+		ds.Add([]float64{rng.Float64()}, rng.Intn(2))
+	}
+	for _, minLeaf := range []int{1, 5, 25} {
+		tree := Train(ds, Config{MinLeaf: minLeaf, Prune: false})
+		var check func(n *Node)
+		check = func(n *Node) {
+			if n.Leaf {
+				if n.n < minLeaf {
+					t.Fatalf("minLeaf=%d: leaf with %d instances", minLeaf, n.n)
+				}
+				return
+			}
+			check(n.Left)
+			check(n.Right)
+		}
+		check(tree.Root)
+	}
+}
+
+// MaxDepth must bound the height.
+func TestMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := &Dataset{NumLabels: 2}
+	for i := 0; i < 1000; i++ {
+		ds.Add([]float64{rng.Float64(), rng.Float64()}, rng.Intn(2))
+	}
+	for _, d := range []int{1, 3, 5} {
+		tree := Train(ds, Config{MinLeaf: 1, MaxDepth: d, Prune: false})
+		if h := tree.Height(); h > d+1 {
+			t.Fatalf("MaxDepth=%d: height %d", d, h)
+		}
+	}
+}
+
+// The paper's features include "infinite" costs encoded as a large
+// sentinel; splits must handle them without producing NaN thresholds.
+func TestLargeSentinelValues(t *testing.T) {
+	const inf = 1e12
+	ds := &Dataset{NumLabels: 2}
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			ds.Add([]float64{inf}, 1)
+		} else {
+			ds.Add([]float64{float64(i)}, 0)
+		}
+	}
+	tree := Train(ds, DefaultConfig())
+	if got := tree.Predict([]float64{inf}); got != 1 {
+		t.Fatalf("want class 1 for sentinel, got %d", got)
+	}
+	if got := tree.Predict([]float64{5}); got != 0 {
+		t.Fatalf("want class 0 for finite, got %d", got)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if !n.Leaf && (math.IsNaN(n.Threshold) || math.IsInf(n.Threshold, 0)) {
+			t.Fatalf("non-finite threshold %v", n.Threshold)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tree.Root)
+}
+
+// Single-class datasets must yield a single leaf.
+func TestSingleClass(t *testing.T) {
+	ds := &Dataset{NumLabels: 3}
+	for i := 0; i < 10; i++ {
+		ds.Add([]float64{float64(i)}, 2)
+	}
+	tree := Train(ds, DefaultConfig())
+	if !tree.Root.Leaf || tree.Root.Label != 2 {
+		t.Fatalf("want single leaf predicting 2, got %s", tree.Dump(labelNum))
+	}
+}
+
+// The inverse normal CDF must roundtrip against the forward CDF.
+func TestInverseNormalCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.25, 0.5, 0.75, 0.99, 0.999} {
+		z := inverseNormalCDF(p)
+		got := 0.5 * (1 + math.Erf(z/math.Sqrt2))
+		if math.Abs(got-p) > 1e-8 {
+			t.Fatalf("p=%g: forward(inverse)=%g", p, got)
+		}
+	}
+	if z := normalUpperQuantile(0.25); math.Abs(z-0.6744897) > 1e-5 {
+		t.Fatalf("upper quantile at 0.25: %g", z)
+	}
+}
+
+// Pessimistic error estimates must increase with z and stay within [errs, n].
+func TestPessimisticErrors(t *testing.T) {
+	for _, n := range []int{1, 10, 100} {
+		for errs := 0; errs <= n; errs += n/4 + 1 {
+			e1 := pessimisticErrors(n, errs, 0.25)
+			e2 := pessimisticErrors(n, errs, 1.5)
+			if e2 < e1 {
+				t.Fatalf("n=%d errs=%d: estimate decreased with z", n, errs)
+			}
+			if e1 < float64(errs)-1e-9 || e2 > float64(n)+1e-9 {
+				t.Fatalf("n=%d errs=%d: estimates out of range: %g, %g", n, errs, e1, e2)
+			}
+		}
+	}
+}

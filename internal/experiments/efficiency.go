@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wisedb/internal/core"
+	"wisedb/internal/workload"
+)
+
+// Fig14 reproduces Figure 14: offline training time vs the number of query
+// templates (5/10/15/20), one series per goal. The paper reports up to ~2
+// minutes in the most extreme cases and under 20 seconds in tame ones.
+func (c *Config) Fig14() (*Table, error) {
+	counts := []int{c.pick(5, 3), c.pick(10, 5), c.pick(15, 6), c.pick(20, 8)}
+	t := &Table{
+		Title: "Fig. 14: training time vs number of query templates",
+		Header: []string{"goal",
+			fmt.Sprintf("%d templates", counts[0]), fmt.Sprintf("%d templates", counts[1]),
+			fmt.Sprintf("%d templates", counts[2]), fmt.Sprintf("%d templates", counts[3])},
+	}
+	for _, gname := range []string{"PerQuery", "Average", "Max", "Percent"} {
+		row := []string{gname}
+		for _, numTemplates := range counts {
+			s := c.newSetup(numTemplates, 1)
+			goal := s.goal(gname)
+			adv := core.NewAdvisor(s.env, c.trainConfig())
+			model, err := adv.Train(goal)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, model.TrainingTime.Round(time.Millisecond).String())
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(c.Out)
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: training time vs the number of VM types
+// (1/5/10) with 10 templates fixed.
+func (c *Config) Fig15() (*Table, error) {
+	counts := []int{1, c.pick(5, 2), c.pick(10, 3)}
+	numTemplates := c.pick(10, 5)
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 15: training time vs number of VM types (%d templates)", numTemplates),
+		Header: []string{"goal", fmt.Sprintf("%d type", counts[0]),
+			fmt.Sprintf("%d types", counts[1]), fmt.Sprintf("%d types", counts[2])},
+	}
+	for _, gname := range []string{"PerQuery", "Average", "Max", "Percent"} {
+		row := []string{gname}
+		for _, numTypes := range counts {
+			s := c.newSetup(numTemplates, numTypes)
+			goal := s.goal(gname)
+			adv := core.NewAdvisor(s.env, c.trainConfig())
+			model, err := adv.Train(goal)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, model.TrainingTime.Round(time.Millisecond).String())
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(c.Out)
+	return t, nil
+}
+
+// Fig16 reproduces Figure 16: the time to adaptively re-train a model when
+// the SLA is tightened by p% of its maximum strictness (§5, §7.3). The
+// paper reports sub-second re-training for tightenings up to ~40%, growing
+// as more training samples need new optimal schedules.
+func (c *Config) Fig16() (*Table, error) {
+	s := c.newSetup(c.pick(10, 5), 1)
+	shifts := []float64{0.1, 0.2, 0.4, 0.6, 0.8}
+	t := &Table{
+		Title:  "Fig. 16: overhead of adaptive modeling (re-train time after SLA shift)",
+		Header: []string{"goal", "10%", "20%", "40%", "60%", "80%"},
+	}
+	for _, g := range s.goals {
+		base, err := c.model(s.env, g.goal)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{g.name}
+		for _, p := range shifts {
+			adapted, err := base.Tighten(p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, adapted.TrainingTime.Round(time.Millisecond).String())
+		}
+		t.AddRow(row...)
+	}
+	t.Note("each column adapts the original model independently; compare with the fresh training times of Fig. 14")
+	t.Fprint(c.Out)
+	return t, nil
+}
+
+// Fig17 reproduces Figure 17: batch scheduling time vs workload size
+// (10K/20K/30K queries). The paper reports linear scaling and under 1.5s at
+// 30K queries (the tree is parsed at most 2n times, O(h) per parse).
+func (c *Config) Fig17() (*Table, error) {
+	s := c.newSetup(c.pick(10, 5), 1)
+	sizes := []int{c.pick(10000, 1000), c.pick(20000, 2000), c.pick(30000, 3000)}
+	t := &Table{
+		Title: "Fig. 17: batch scheduling overhead vs workload size",
+		Header: []string{"goal", fmt.Sprintf("%d queries", sizes[0]),
+			fmt.Sprintf("%d queries", sizes[1]), fmt.Sprintf("%d queries", sizes[2])},
+	}
+	for _, g := range s.goals {
+		model, err := c.model(s.env, g.goal)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{g.name}
+		for _, size := range sizes {
+			w := workload.NewSampler(s.env.Templates, c.Seed+17).Uniform(size)
+			start := time.Now()
+			if _, err := model.ScheduleBatch(w); err != nil {
+				return nil, err
+			}
+			row = append(row, time.Since(start).Round(time.Millisecond).String())
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(c.Out)
+	return t, nil
+}

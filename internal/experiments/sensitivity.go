@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/graph"
+	"wisedb/internal/search"
+	"wisedb/internal/stats"
+	"wisedb/internal/workload"
+)
+
+// skewLevels maps the χ² axis of Figs. 20-21: each skew parameter yields
+// workloads whose χ² confidence against uniformity spans 0..1.
+var skewLevels = []float64{0, 0.2, 0.4, 0.6, 0.8, 0.97}
+
+// Fig20 reproduces Figure 20: percent above optimal for workloads skewed
+// toward one template, by χ² confidence. The paper reports less than 2%
+// change even for χ² ≈ 1 (models are trained on uniform samples only).
+func (c *Config) Fig20() (*Table, error) {
+	s := c.newSetup(c.pick(10, 5), 1)
+	size := c.pick(30, 10)
+	trials := c.pick(3, 2)
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 20: sensitivity to skewed runtime workloads (%d queries, %% above optimal)", size),
+		Header: append([]string{"goal"}, skewHeaders(s, size, trials, c.Seed)...),
+	}
+	for _, g := range s.goals {
+		model, err := c.model(s.env, g.goal)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{g.name}
+		for _, skew := range skewLevels {
+			sampler := workload.NewSampler(s.env.Templates, c.Seed+20)
+			weights := workload.SkewWeights(len(s.env.Templates), skew, len(s.env.Templates)/2)
+			sumModel, sumOpt := 0.0, 0.0
+			for i := 0; i < trials; i++ {
+				w := sampler.Weighted(size, weights)
+				sched, err := model.ScheduleBatch(w)
+				if err != nil {
+					return nil, err
+				}
+				mc := sched.Cost(s.env, g.goal)
+				oc, _, err := optimalCost(s.env, g.goal, w, mc)
+				if err != nil {
+					return nil, err
+				}
+				sumModel += mc
+				sumOpt += oc
+			}
+			row = append(row, pct(sumModel, sumOpt))
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(c.Out)
+	return t, nil
+}
+
+// skewHeaders renders each skew level as its measured χ² confidence, the
+// quantity the paper plots on the x axis (§7.5).
+func skewHeaders(s *setup, size, trials int, seed int64) []string {
+	headers := make([]string, len(skewLevels))
+	for i, skew := range skewLevels {
+		sampler := workload.NewSampler(s.env.Templates, seed+20)
+		weights := workload.SkewWeights(len(s.env.Templates), skew, len(s.env.Templates)/2)
+		conf := 0.0
+		for j := 0; j < trials; j++ {
+			w := sampler.Weighted(size, weights)
+			conf += stats.UniformChiSquareConfidence(w.Counts())
+		}
+		headers[i] = fmt.Sprintf("χ²=%.2f", conf/float64(trials))
+	}
+	return headers
+}
+
+// Fig21 reproduces Figure 21: the mean and range of schedule costs across
+// many skewed workloads under the Max goal, for WiSeDB and the optimal.
+// The paper reports a stable mean but growing variance with skew, with
+// WiSeDB's variance tracking the optimal scheduler's.
+func (c *Config) Fig21() (*Table, error) {
+	s := c.newSetup(c.pick(10, 5), 1)
+	size := c.pick(30, 10)
+	workloads := c.pick(200, 20)
+	goal := s.goal("Max")
+	model, err := c.model(s.env, goal)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 21: workload skewness vs cost range (Max goal, %d workloads per level)", workloads),
+		Header: []string{"skew", "WiSeDB mean", "WiSeDB min..max", "Optimal mean", "Optimal min..max"},
+	}
+	for _, skew := range skewLevels {
+		sampler := workload.NewSampler(s.env.Templates, c.Seed+21)
+		weights := workload.SkewWeights(len(s.env.Templates), skew, len(s.env.Templates)/2)
+		var modelCosts, optCosts []float64
+		for i := 0; i < workloads; i++ {
+			w := sampler.Weighted(size, weights)
+			sched, err := model.ScheduleBatch(w)
+			if err != nil {
+				return nil, err
+			}
+			mc := sched.Cost(s.env, goal)
+			oc, _, err := optimalCost(s.env, goal, w, mc)
+			if err != nil {
+				return nil, err
+			}
+			modelCosts = append(modelCosts, mc)
+			optCosts = append(optCosts, oc)
+		}
+		mMin, mMax := stats.MinMax(modelCosts)
+		oMin, oMax := stats.MinMax(optCosts)
+		t.AddRow(fmt.Sprintf("%.2f", skew),
+			cents(stats.Mean(modelCosts)), fmt.Sprintf("%s..%s", cents(mMin), cents(mMax)),
+			cents(stats.Mean(optCosts)), fmt.Sprintf("%s..%s", cents(oMin), cents(oMax)))
+	}
+	t.Fprint(c.Out)
+	return t, nil
+}
+
+// Fig22 reproduces Figure 22: the effect of latency prediction error on
+// schedule cost. Each query's observed latency is a noisy draw around its
+// template's true latency (σ as a fraction of the true value); WiSeDB
+// classifies the query to the template with the closest predicted latency
+// (§6.2) and schedules by template identity, while true latencies drive the
+// realized cost. The paper reports graceful behaviour below ~30% error and
+// sharp degradation at 40% as template membership becomes ambiguous.
+func (c *Config) Fig22() (*Table, error) {
+	s := c.newSetup(c.pick(10, 5), 1)
+	size := c.pick(30, 10)
+	trials := c.pick(6, 6) // realization noise is large; average more runs
+	sigmas := []float64{0.1, 0.2, 0.3, 0.4}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 22: optimality under latency prediction error (%d queries, %% above optimal)", size),
+		Header: []string{"goal", "10%", "20%", "30%", "40%"},
+	}
+	for _, g := range s.goals {
+		model, err := c.model(s.env, g.goal)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{g.name}
+		for _, sigma := range sigmas {
+			rng := rand.New(rand.NewSource(c.Seed + 22))
+			sampler := workload.NewSampler(s.env.Templates, c.Seed+22)
+			sumModel, sumOpt := 0.0, 0.0
+			for i := 0; i < trials; i++ {
+				trueW := sampler.Uniform(size)
+				misW, trueLat := misclassify(trueW, s.env, sigma, rng)
+				sched, err := model.ScheduleBatch(misW)
+				if err != nil {
+					return nil, err
+				}
+				mc := realizedCost(sched, s.env, g.goal, trueLat)
+				// The comparator plans from the same misclassified
+				// view — realization noise hits both sides equally,
+				// so the ratio isolates decision quality.
+				oc, err := optimalUnderMisclassification(s.env, g.goal, misW, trueLat)
+				if err != nil {
+					return nil, err
+				}
+				sumModel += mc
+				sumOpt += oc
+			}
+			row = append(row, pct(sumModel, sumOpt))
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(c.Out)
+	return t, nil
+}
+
+// optimalUnderMisclassification computes the exact optimal schedule for the
+// misclassified template view and prices it with true latencies: what a
+// perfect scheduler with the same (erroneous) information would pay.
+func optimalUnderMisclassification(env *schedule.Env, goal sla.Goal, misW *workload.Workload, trueLat map[int]time.Duration) (float64, error) {
+	searcher, err := search.New(graph.NewProblem(env, goal))
+	if err != nil {
+		return 0, err
+	}
+	res, err := searcher.Solve(misW, search.Options{MaxExpansions: optimalExpansionCap})
+	if err != nil {
+		return 0, err
+	}
+	sched := res.Schedule()
+	retagByTemplate(sched, misW)
+	return realizedCost(sched, env, goal, trueLat), nil
+}
+
+// misclassify returns a copy of the workload where each query has been
+// re-assigned to the template whose latency is closest to a noisy
+// observation of the query's true latency, plus the true latency per tag.
+func misclassify(w *workload.Workload, env *schedule.Env, sigma float64, rng *rand.Rand) (*workload.Workload, map[int]time.Duration) {
+	trueLat := map[int]time.Duration{}
+	queries := make([]workload.Query, len(w.Queries))
+	ref := env.VMTypes[0]
+	for i, q := range w.Queries {
+		actual := w.Templates[q.TemplateID].BaseLatency
+		trueLat[q.Tag] = actual
+		observed := cloud.SampleNoisyLatency(actual, sigma, rng)
+		queries[i] = workload.Query{
+			TemplateID: cloud.ClosestTemplate(observed, w.Templates, ref, env.Pred),
+			Tag:        q.Tag,
+		}
+	}
+	return &workload.Workload{Templates: w.Templates, Queries: queries}, trueLat
+}
+
+// realizedCost prices a schedule using each query's true latency rather
+// than the latency of the (possibly wrong) template it was scheduled as.
+func realizedCost(s *schedule.Schedule, env *schedule.Env, goal sla.Goal, trueLat map[int]time.Duration) float64 {
+	cost := 0.0
+	var perf []sla.QueryPerf
+	for _, vm := range s.VMs {
+		vt := env.VMTypes[vm.TypeID]
+		cost += vt.StartupCost
+		elapsed := time.Duration(0)
+		for _, q := range vm.Queue {
+			lat, ok := trueLat[q.Tag]
+			if !ok {
+				lat, _ = env.Latency(q.TemplateID, vm.TypeID)
+			}
+			cost += vt.RunningCost(lat)
+			elapsed += lat
+			perf = append(perf, sla.QueryPerf{TemplateID: q.TemplateID, Latency: elapsed})
+		}
+	}
+	return cost + goal.Penalty(perf)
+}

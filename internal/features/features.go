@@ -1,0 +1,102 @@
+// Package features extracts the training features of §4.4 from
+// scheduling-graph vertices. Each decision on an optimal path becomes a
+// (features, decision) training pair; the features deliberately exclude
+// anything correlated with workload size so that models trained on small
+// sample workloads generalize to arbitrarily large runtime workloads
+// (§4.4's feature-selection requirements).
+//
+// The feature vector for a template set of size k is laid out as:
+//
+//	[0]          wait-time                (seconds)
+//	[1+4i+0]     proportion-of-Ti         (fraction of open-VM queue)
+//	[1+4i+1]     supports-Ti              (0/1)
+//	[1+4i+2]     cost-of-Ti               (cents; Infinite if unplaceable)
+//	[1+4i+3]     have-Ti                  (0/1)
+package features
+
+import (
+	"fmt"
+	"time"
+
+	"wisedb/internal/graph"
+)
+
+// Infinite is the sentinel encoding an infinite cost-of-X: placing the
+// template on the open VM is impossible (no VM, or the VM type cannot run
+// it). A large finite value keeps decision-tree thresholds finite.
+const Infinite = 1e12
+
+// PerTemplate is the number of features emitted per template.
+const PerTemplate = 4
+
+// VectorLen returns the feature vector length for a template set of size k.
+func VectorLen(k int) int { return 1 + PerTemplate*k }
+
+// Names returns the feature names in vector order.
+func Names(k int) []string {
+	names := make([]string, 0, VectorLen(k))
+	names = append(names, "wait-time")
+	for i := 0; i < k; i++ {
+		names = append(names,
+			fmt.Sprintf("proportion-of-T%d", i),
+			fmt.Sprintf("supports-T%d", i),
+			fmt.Sprintf("cost-of-T%d", i),
+			fmt.Sprintf("have-T%d", i),
+		)
+	}
+	return names
+}
+
+// Extract computes the feature vector of a vertex (§4.4). All five paper
+// features are included:
+//
+//   - wait-time: total execution time already queued on the open VM — the
+//     wait a newly placed query would incur.
+//   - proportion-of-X: fraction of the open VM's queue that is template X.
+//   - supports-X: whether the open VM's type can run template X.
+//   - cost-of-X: the weight of the placement edge for X (Eq. 2), Infinite
+//     when no VM is open or the type cannot run X.
+//   - have-X: whether an instance of X is still unassigned.
+func Extract(prob *graph.Problem, s *graph.State) []float64 {
+	k := len(prob.Env.Templates)
+	v := make([]float64, VectorLen(k))
+	v[0] = s.Wait.Seconds()
+
+	queueTotal := len(s.OpenQueue)
+	counts := make([]int, k)
+	for _, t := range s.OpenQueue {
+		counts[t]++
+	}
+	for i := 0; i < k; i++ {
+		base := 1 + PerTemplate*i
+		if queueTotal > 0 {
+			v[base] = float64(counts[i]) / float64(queueTotal)
+		}
+		v[base+1] = 0
+		v[base+2] = Infinite
+		if s.OpenType != graph.NoVM {
+			if lat, ok := prob.Env.Latency(i, s.OpenType); ok {
+				v[base+1] = 1
+				v[base+2] = placementCost(prob, s, i, lat)
+			}
+		}
+		if i < len(s.Unassigned) && s.Unassigned[i] > 0 {
+			v[base+3] = 1
+		}
+	}
+	return v
+}
+
+// placementCost computes the Eq. 2 edge weight for placing template t on
+// the open VM, without requiring an unassigned instance to exist (cost-of-X
+// is defined for every supported template, §4.4).
+func placementCost(prob *graph.Problem, s *graph.State, t int, lat time.Duration) float64 {
+	vt := prob.Env.VMTypes[s.OpenType]
+	completion := s.Wait + lat
+	delta := s.Acc.PeekAdd(t, completion) - s.Acc.Penalty()
+	c := vt.RunningCost(lat) + delta
+	if c > Infinite {
+		c = Infinite
+	}
+	return c
+}

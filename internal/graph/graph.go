@@ -1,0 +1,326 @@
+// Package graph defines WiSeDB's scheduling graph (§4.3): a weighted DAG
+// whose vertices are partial schedules plus remaining queries, and whose
+// edges are workload-management actions — renting a VM (start-up edge) or
+// placing a query on the most recently rented VM (placement edge). The
+// weight of a path from the start vertex to a goal vertex equals the total
+// cost (Eq. 1) of the goal vertex's complete schedule, so minimum-cost
+// scheduling reduces to shortest path.
+//
+// Both of the paper's reductions are applied:
+//
+//  1. a start-up edge exists only when the open (most recent) VM is
+//     non-empty, so no path provisions a VM it never uses; and
+//  2. placement edges target only the open VM, so each combination of VM
+//     types and query orderings is reachable by exactly one path
+//     (Lemma 4.1 shows no optimal goal vertex is lost).
+//
+// Additionally, queries of the same template are interchangeable (§4.3), so
+// vertices track per-template unassigned counts rather than query
+// identities, and at most one placement edge exists per template.
+package graph
+
+import (
+	"encoding/binary"
+	"time"
+
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+// ActionKind discriminates the two edge types of the scheduling graph.
+type ActionKind int
+
+const (
+	// Startup rents a new VM (start-up edge).
+	Startup ActionKind = iota
+	// Place assigns one query of a template to the open VM
+	// (placement edge).
+	Place
+)
+
+// Action is a workload-management decision: one edge of the scheduling
+// graph, and also the label space of the decision-tree model (§4.4: "the
+// domain of possible decisions is equal to the sum of the number of query
+// templates and the number of VM types").
+type Action struct {
+	Kind ActionKind
+	// VMType is the type to rent when Kind == Startup.
+	VMType int
+	// Template is the template to place when Kind == Place.
+	Template int
+}
+
+// Label returns a dense integer encoding of the action for use as a
+// classifier label: placements map to [0, |T|) and start-ups to
+// [|T|, |T|+|V|).
+func (a Action) Label(numTemplates int) int {
+	if a.Kind == Place {
+		return a.Template
+	}
+	return numTemplates + a.VMType
+}
+
+// ActionFromLabel inverts Label.
+func ActionFromLabel(label, numTemplates int) Action {
+	if label < numTemplates {
+		return Action{Kind: Place, Template: label}
+	}
+	return Action{Kind: Startup, VMType: label - numTemplates}
+}
+
+// NoVM marks a state whose schedule has no VM yet (the start vertex).
+const NoVM = -1
+
+// State is a vertex of the scheduling graph. Only the information that can
+// influence future costs (plus the open VM's queue, needed for feature
+// extraction) is retained: frozen VMs are fully accounted for in the path
+// cost and are reconstructed from the action path when needed.
+type State struct {
+	// Unassigned holds the remaining query count per template (v_u).
+	Unassigned []int
+	// OpenType is the VM type of the most recently rented VM, or NoVM.
+	OpenType int
+	// OpenQueue is the template sequence queued on the open VM.
+	OpenQueue []int
+	// Wait is the total execution time queued on the open VM: the time a
+	// newly placed query would wait before starting (§4.4, feature 1).
+	Wait time.Duration
+	// Acc tracks the penalty of the schedule so far.
+	Acc sla.Accumulator
+	// PrevFirst is the template of the first query on the previously
+	// closed VM, or Unconstrained. It implements a symmetry reduction
+	// beyond the paper's two: VM-level permutations of a schedule have
+	// identical cost (fees, processing, and penalties all depend only on
+	// the multiset of VM queues), so the graph only admits schedules
+	// whose VMs are ordered by non-increasing first-query template. At
+	// least one canonical ordering exists for every schedule, so no goal
+	// cost is lost.
+	PrevFirst int
+}
+
+// Unconstrained is the PrevFirst value when any template may start the
+// open VM.
+const Unconstrained = 1 << 30
+
+// Problem bundles everything that defines a scheduling-graph instance: the
+// environment (templates, VM types, predictor) and the performance goal.
+type Problem struct {
+	Env  *schedule.Env
+	Goal sla.Goal
+	// NoSymmetryBreaking disables the canonical VM ordering reduction.
+	// Tests use it to verify the reduction is lossless; production
+	// searches leave it off.
+	NoSymmetryBreaking bool
+}
+
+// NewProblem constructs a Problem.
+func NewProblem(env *schedule.Env, goal sla.Goal) *Problem {
+	return &Problem{Env: env, Goal: goal}
+}
+
+// Start returns the start vertex for a workload: all queries unassigned, no
+// VM rented.
+func (p *Problem) Start(w *workload.Workload) *State {
+	return &State{
+		Unassigned: w.Counts(),
+		OpenType:   NoVM,
+		Acc:        sla.NewAccumulator(p.Goal),
+		PrevFirst:  Unconstrained,
+	}
+}
+
+// IsGoal reports whether the state is a goal vertex (no unassigned queries).
+func (s *State) IsGoal() bool {
+	for _, c := range s.Unassigned {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RemainingQueries returns the number of unassigned queries.
+func (s *State) RemainingQueries() int {
+	n := 0
+	for _, c := range s.Unassigned {
+		n += c
+	}
+	return n
+}
+
+// CanStartup reports whether a start-up edge may leave this state: the open
+// VM must be non-empty (reduction 1) — or absent — and work must remain.
+func (s *State) CanStartup() bool {
+	if s.IsGoal() {
+		return false
+	}
+	return s.OpenType == NoVM || len(s.OpenQueue) > 0
+}
+
+// CanPlace reports whether a placement edge for the template may leave this
+// state: an instance must be unassigned and the open VM must support the
+// template.
+func (p *Problem) CanPlace(s *State, template int) bool {
+	if template < 0 || template >= len(s.Unassigned) || s.Unassigned[template] == 0 || s.OpenType == NoVM {
+		return false
+	}
+	if !p.NoSymmetryBreaking && len(s.OpenQueue) == 0 && template > s.PrevFirst {
+		return false // canonical VM ordering (see State.PrevFirst)
+	}
+	_, ok := p.Env.Latency(template, s.OpenType)
+	return ok
+}
+
+// StartupCost returns the weight of the start-up edge for VM type vt.
+func (p *Problem) StartupCost(vt int) float64 {
+	return p.Env.VMTypes[vt].StartupCost
+}
+
+// PlacementCost returns the weight of the placement edge for the template
+// out of state s (Eq. 2): processing cost f_r × l plus the penalty delta.
+// ok is false if the edge does not exist.
+func (p *Problem) PlacementCost(s *State, template int) (cost float64, ok bool) {
+	if !p.CanPlace(s, template) {
+		return 0, false
+	}
+	lat, _ := p.Env.Latency(template, s.OpenType)
+	vt := p.Env.VMTypes[s.OpenType]
+	completion := s.Wait + lat
+	delta := s.Acc.PeekAdd(template, completion) - s.Acc.Penalty()
+	return vt.RunningCost(lat) + delta, true
+}
+
+// Apply returns the successor state reached by taking the action from s.
+// It panics if the action is invalid; use CanStartup/CanPlace first.
+func (p *Problem) Apply(s *State, a Action) *State {
+	switch a.Kind {
+	case Startup:
+		if !s.CanStartup() {
+			panic("graph: invalid start-up edge")
+		}
+		if a.VMType < 0 || a.VMType >= len(p.Env.VMTypes) {
+			panic("graph: unknown VM type")
+		}
+		prevFirst := s.PrevFirst
+		if len(s.OpenQueue) > 0 {
+			prevFirst = s.OpenQueue[0]
+		}
+		return &State{
+			Unassigned: s.Unassigned,
+			OpenType:   a.VMType,
+			OpenQueue:  nil,
+			Wait:       0,
+			Acc:        s.Acc,
+			PrevFirst:  prevFirst,
+		}
+	case Place:
+		if !p.CanPlace(s, a.Template) {
+			panic("graph: invalid placement edge")
+		}
+		lat, _ := p.Env.Latency(a.Template, s.OpenType)
+		unassigned := make([]int, len(s.Unassigned))
+		copy(unassigned, s.Unassigned)
+		unassigned[a.Template]--
+		queue := make([]int, len(s.OpenQueue)+1)
+		copy(queue, s.OpenQueue)
+		queue[len(s.OpenQueue)] = a.Template
+		completion := s.Wait + lat
+		return &State{
+			Unassigned: unassigned,
+			OpenType:   s.OpenType,
+			OpenQueue:  queue,
+			Wait:       completion,
+			Acc:        s.Acc.Add(a.Template, completion),
+			PrevFirst:  s.PrevFirst,
+		}
+	default:
+		panic("graph: unknown action kind")
+	}
+}
+
+// Actions returns the out-edges of s in a deterministic order: placement
+// edges by template ID, then start-up edges by VM type. A start-up edge for
+// type vt is offered only if vt can run at least one unassigned template
+// (renting a VM nothing can use is never optimal and never reaches a goal
+// with the reductions in force).
+func (p *Problem) Actions(s *State) []Action {
+	var out []Action
+	for t := range s.Unassigned {
+		if p.CanPlace(s, t) {
+			out = append(out, Action{Kind: Place, Template: t})
+		}
+	}
+	if s.CanStartup() {
+		for _, vt := range p.Env.VMTypes {
+			usable := false
+			for t, c := range s.Unassigned {
+				if c == 0 {
+					continue
+				}
+				if _, ok := p.Env.Latency(t, vt.ID); ok {
+					usable = true
+					break
+				}
+			}
+			if usable {
+				out = append(out, Action{Kind: Startup, VMType: vt.ID})
+			}
+		}
+	}
+	return out
+}
+
+// Signature returns a canonical byte-string key identifying all state that
+// can influence future costs: unassigned counts, open VM type, queued wait
+// time, the canonical-ordering bound (when the symmetry reduction is
+// active), and the goal-specific penalty summary. Two states with equal
+// signatures have identical reachable futures, so the search keeps only the
+// cheapest. The open queue's composition is deliberately excluded: future
+// placement costs depend on it only through Wait, Acc, and the ordering
+// bound.
+func (p *Problem) Signature(s *State) string {
+	buf := make([]byte, 0, 8*len(s.Unassigned)+16)
+	for _, c := range s.Unassigned {
+		buf = binary.AppendVarint(buf, int64(c))
+	}
+	buf = binary.AppendVarint(buf, int64(s.OpenType))
+	buf = binary.AppendVarint(buf, int64(s.Wait/time.Millisecond))
+	if !p.NoSymmetryBreaking {
+		buf = binary.AppendVarint(buf, int64(s.OrderingBound()))
+	}
+	buf = s.Acc.AppendSignature(buf)
+	return string(buf)
+}
+
+// orderingBound returns the template bound the canonical VM ordering
+// imposes on reachable futures: the open VM's first query once one is
+// placed (it becomes the next VM's PrevFirst), or PrevFirst while the open
+// VM is empty. It is the only ordering state a signature must retain.
+func (s *State) OrderingBound() int {
+	if len(s.OpenQueue) > 0 {
+		return s.OpenQueue[0]
+	}
+	return s.PrevFirst
+}
+
+// BuildSchedule replays an action path from the start vertex into a
+// concrete Schedule.
+func BuildSchedule(actions []Action) *schedule.Schedule {
+	s := &schedule.Schedule{}
+	tag := 0
+	for _, a := range actions {
+		switch a.Kind {
+		case Startup:
+			s.VMs = append(s.VMs, schedule.VM{TypeID: a.VMType})
+		case Place:
+			if len(s.VMs) == 0 {
+				panic("graph: placement before any start-up action")
+			}
+			vm := &s.VMs[len(s.VMs)-1]
+			vm.Queue = append(vm.Queue, schedule.Placed{TemplateID: a.Template, Tag: tag})
+			tag++
+		}
+	}
+	return s
+}

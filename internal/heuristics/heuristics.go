@@ -1,0 +1,122 @@
+// Package heuristics implements the metric-specific baselines WiSeDB is
+// compared against (§3, §7.2): First-Fit Decreasing (FFD), First-Fit
+// Increasing (FFI), and Pack9. Each sorts the workload by latency and
+// places queries on the first VM where they "fit" — incur no additional
+// penalty — renting a new VM when none fits.
+package heuristics
+
+import (
+	"sort"
+	"time"
+
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+const eps = 1e-9
+
+// Order selects the query ordering a first-fit pass uses.
+type Order int
+
+const (
+	// Decreasing sorts queries by descending latency (FFD): the classic
+	// bin-packing heuristic, suited to the Max goal.
+	Decreasing Order = iota
+	// Increasing sorts queries by ascending latency (FFI): suited to
+	// PerQuery and Average goals [28].
+	Increasing
+	// Pack9Order emits the 9 shortest remaining queries then the single
+	// largest, repeatedly: it pushes the most expensive queries into a
+	// percentile goal's violation margin (§7.2).
+	Pack9Order
+)
+
+// FFD schedules the workload with first-fit decreasing on VM type vmType.
+func FFD(w *workload.Workload, env *schedule.Env, goal sla.Goal, vmType int) *schedule.Schedule {
+	return FirstFit(w, env, goal, vmType, Decreasing)
+}
+
+// FFI schedules the workload with first-fit increasing on VM type vmType.
+func FFI(w *workload.Workload, env *schedule.Env, goal sla.Goal, vmType int) *schedule.Schedule {
+	return FirstFit(w, env, goal, vmType, Increasing)
+}
+
+// Pack9 schedules the workload with the Pack9 ordering on VM type vmType.
+func Pack9(w *workload.Workload, env *schedule.Env, goal sla.Goal, vmType int) *schedule.Schedule {
+	return FirstFit(w, env, goal, vmType, Pack9Order)
+}
+
+// FirstFit runs a first-fit pass over the workload in the given order:
+// each query goes to the first VM where appending it adds no penalty, or to
+// a newly rented VM when none fits. Queries that cannot avoid a penalty
+// anywhere are still placed (on a fresh VM), mirroring WiSeDB's policy of
+// scheduling every query as cheaply as possible rather than rejecting it.
+func FirstFit(w *workload.Workload, env *schedule.Env, goal sla.Goal, vmType int, order Order) *schedule.Schedule {
+	queries := orderedQueries(w, env, vmType, order)
+	sched := &schedule.Schedule{}
+	waits := []time.Duration{} // per-VM queued execution time
+	acc := sla.NewAccumulator(goal)
+	for _, q := range queries {
+		lat, ok := env.Latency(q.TemplateID, vmType)
+		if !ok {
+			lat = 1000 * time.Hour
+		}
+		placed := false
+		for i := range sched.VMs {
+			completion := waits[i] + lat
+			next := acc.Add(q.TemplateID, completion)
+			if next.Penalty() <= acc.Penalty()+eps {
+				sched.VMs[i].Queue = append(sched.VMs[i].Queue, schedule.Placed{TemplateID: q.TemplateID, Tag: q.Tag})
+				waits[i] = completion
+				acc = next
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			sched.VMs = append(sched.VMs, schedule.VM{TypeID: vmType, Queue: []schedule.Placed{{TemplateID: q.TemplateID, Tag: q.Tag}}})
+			waits = append(waits, lat)
+			acc = acc.Add(q.TemplateID, lat)
+		}
+	}
+	return sched
+}
+
+// orderedQueries returns the workload's queries in the pass order.
+func orderedQueries(w *workload.Workload, env *schedule.Env, vmType int, order Order) []workload.Query {
+	qs := append([]workload.Query(nil), w.Queries...)
+	lat := func(q workload.Query) time.Duration {
+		l, ok := env.Latency(q.TemplateID, vmType)
+		if !ok {
+			return 1000 * time.Hour
+		}
+		return l
+	}
+	sort.SliceStable(qs, func(i, j int) bool { return lat(qs[i]) < lat(qs[j]) })
+	switch order {
+	case Increasing:
+		return qs
+	case Decreasing:
+		for i, j := 0, len(qs)-1; i < j; i, j = i+1, j-1 {
+			qs[i], qs[j] = qs[j], qs[i]
+		}
+		return qs
+	case Pack9Order:
+		out := make([]workload.Query, 0, len(qs))
+		lo, hi := 0, len(qs)-1
+		for lo <= hi {
+			for n := 0; n < 9 && lo <= hi; n++ {
+				out = append(out, qs[lo])
+				lo++
+			}
+			if lo <= hi {
+				out = append(out, qs[hi])
+				hi--
+			}
+		}
+		return out
+	default:
+		panic("heuristics: unknown order")
+	}
+}

@@ -1,0 +1,155 @@
+package heuristics
+
+import (
+	"testing"
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+func env(n int) *schedule.Env {
+	return schedule.NewEnv(workload.DefaultTemplates(n), cloud.DefaultVMTypes(1))
+}
+
+// The §3 counterexample: templates of 4, 3, 2 minutes, two queries each,
+// max execution time 9 minutes. FFD and FFI both need 3 VMs; the optimum
+// needs 2. This pins down the exact first-fit semantics the paper assumes.
+func TestSectionThreeExample(t *testing.T) {
+	templates := []workload.Template{
+		{ID: 0, Name: "T1", BaseLatency: 4 * time.Minute},
+		{ID: 1, Name: "T2", BaseLatency: 3 * time.Minute},
+		{ID: 2, Name: "T3", BaseLatency: 2 * time.Minute},
+	}
+	e := schedule.NewEnv(templates, cloud.DefaultVMTypes(1))
+	goal := sla.NewMaxLatency(9*time.Minute, templates, 1)
+	w := &workload.Workload{Templates: templates, Queries: []workload.Query{
+		{TemplateID: 0, Tag: 0}, {TemplateID: 0, Tag: 1},
+		{TemplateID: 1, Tag: 2}, {TemplateID: 1, Tag: 3},
+		{TemplateID: 2, Tag: 4}, {TemplateID: 2, Tag: 5},
+	}}
+	ffd := FFD(w, e, goal, 0)
+	if got := len(ffd.VMs); got != 3 {
+		t.Fatalf("FFD: paper predicts 3 VMs {[4,4],[3,3,2],[2]}, got %d: %s", got, ffd)
+	}
+	ffi := FFI(w, e, goal, 0)
+	if got := len(ffi.VMs); got != 3 {
+		t.Fatalf("FFI: paper predicts 3 VMs, got %d: %s", got, ffi)
+	}
+	for _, s := range []*schedule.Schedule{ffd, ffi} {
+		if pen := s.Penalty(e, goal); pen != 0 {
+			t.Fatalf("first-fit schedules must be penalty-free here, got %g", pen)
+		}
+		if err := s.Validate(e, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFFDOrdering(t *testing.T) {
+	e := env(5)
+	goal := sla.NewMaxLatency(15*time.Minute, e.Templates, 1)
+	w := workload.NewSampler(e.Templates, 3).Uniform(20)
+	s := FFD(w, e, goal, 0)
+	// First VM's first query must be one of the longest.
+	first := s.VMs[0].Queue[0].TemplateID
+	if first != 4 {
+		// Only if template 4 occurs in the workload.
+		if w.Counts()[4] > 0 {
+			t.Fatalf("FFD must start with the longest template, got T%d", first)
+		}
+	}
+	if err := s.Validate(e, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFIOrdering(t *testing.T) {
+	e := env(5)
+	goal := sla.NewMaxLatency(15*time.Minute, e.Templates, 1)
+	w := workload.NewSampler(e.Templates, 3).Uniform(20)
+	s := FFI(w, e, goal, 0)
+	first := s.VMs[0].Queue[0].TemplateID
+	if w.Counts()[0] > 0 && first != 0 {
+		t.Fatalf("FFI must start with the shortest template, got T%d", first)
+	}
+}
+
+func TestPack9Ordering(t *testing.T) {
+	e := env(2)
+	goal := sla.NewMaxLatency(100*time.Hour, e.Templates, 1) // no penalties: single VM
+	queries := make([]workload.Query, 12)
+	for i := range queries {
+		tid := 0
+		if i < 2 {
+			tid = 1 // two long queries
+		}
+		queries[i] = workload.Query{TemplateID: tid, Tag: i}
+	}
+	w := &workload.Workload{Templates: e.Templates, Queries: queries}
+	s := Pack9(w, e, goal, 0)
+	if len(s.VMs) != 1 {
+		t.Fatalf("loose goal: want single VM, got %d", len(s.VMs))
+	}
+	q := s.VMs[0].Queue
+	// Pack9 emits 9 shortest, then the largest, then the rest.
+	for i := 0; i < 9; i++ {
+		if q[i].TemplateID != 0 {
+			t.Fatalf("position %d: want short template, got T%d", i, q[i].TemplateID)
+		}
+	}
+	if q[9].TemplateID != 1 {
+		t.Fatalf("position 9: want the longest template, got T%d", q[9].TemplateID)
+	}
+}
+
+// Every heuristic must place every query exactly once, for every goal type.
+func TestHeuristicsComplete(t *testing.T) {
+	e := env(5)
+	goals := []sla.Goal{
+		sla.NewMaxLatency(15*time.Minute, e.Templates, 1),
+		sla.NewPerQuery(3, e.Templates, 1),
+		sla.NewAverage(10*time.Minute, e.Templates, 1),
+		sla.NewPercentile(90, 10*time.Minute, e.Templates, 1),
+	}
+	w := workload.NewSampler(e.Templates, 11).Uniform(50)
+	for _, goal := range goals {
+		for name, h := range map[string]func(*workload.Workload, *schedule.Env, sla.Goal, int) *schedule.Schedule{
+			"FFD": FFD, "FFI": FFI, "Pack9": Pack9,
+		} {
+			s := h(w, e, goal, 0)
+			if err := s.Validate(e, w); err != nil {
+				t.Fatalf("%s under %s: %v", name, goal.Name(), err)
+			}
+		}
+	}
+}
+
+// With a tight deadline every query gets its own VM (nothing else "fits").
+func TestFirstFitTightDeadline(t *testing.T) {
+	e := env(3)
+	goal := sla.NewMaxLatency(e.Templates[0].BaseLatency, e.Templates, 1)
+	w := workload.NewSampler(e.Templates, 4).Uniform(8)
+	s := FFD(w, e, goal, 0)
+	if len(s.VMs) != 8 {
+		t.Fatalf("tight deadline: want 8 VMs, got %d (%s)", len(s.VMs), s)
+	}
+}
+
+// A query that cannot fit anywhere still gets placed (on its own VM).
+func TestFirstFitPlacesUnfittableQueries(t *testing.T) {
+	e := env(3)
+	// Deadline shorter than the shortest template: every placement
+	// incurs a penalty.
+	goal := sla.NewMaxLatency(time.Minute, e.Templates, 1)
+	w := workload.NewSampler(e.Templates, 4).Uniform(5)
+	s := FFI(w, e, goal, 0)
+	if err := s.Validate(e, w); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumQueries() != 5 {
+		t.Fatalf("all queries must be placed, got %d", s.NumQueries())
+	}
+}

@@ -1,0 +1,203 @@
+// Package schedule defines workload schedules and the paper's cost model.
+// A schedule S is a list of VMs, each holding an ordered queue of queries
+// (§3). Its total monetary cost under a performance goal R is
+//
+//	cost(R,S) = Σ_vm [ f_s + Σ_q f_r × l(q) ] + p(R,S)      (Eq. 1)
+//
+// i.e. per-VM start-up fees, per-query processing fees, and SLA penalties.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+// Env bundles the static context a schedule is evaluated against: the
+// template set, the available VM types, and the latency predictor.
+type Env struct {
+	Templates []workload.Template
+	VMTypes   []cloud.VMType
+	Pred      cloud.Predictor
+}
+
+// NewEnv returns an Env using the exact latency table predictor.
+func NewEnv(templates []workload.Template, vmTypes []cloud.VMType) *Env {
+	return &Env{Templates: templates, VMTypes: vmTypes, Pred: cloud.TablePredictor{}}
+}
+
+// Latency returns the predicted latency of template templateID on VM type
+// typeID; ok is false if the type cannot run the template.
+func (e *Env) Latency(templateID, typeID int) (time.Duration, bool) {
+	if templateID < 0 || templateID >= len(e.Templates) || typeID < 0 || typeID >= len(e.VMTypes) {
+		return 0, false
+	}
+	return e.Pred.Latency(e.Templates[templateID], e.VMTypes[typeID])
+}
+
+// CheapestLatencyCost returns the minimum over VM types of
+// f_r × l(template, type) — the cheapest possible processing cost for one
+// instance of the template. It is the per-query term of the A* heuristic
+// (Eq. 3). ok is false if no type can run the template.
+func (e *Env) CheapestLatencyCost(templateID int) (float64, bool) {
+	best, found := 0.0, false
+	for _, vt := range e.VMTypes {
+		lat, ok := e.Latency(templateID, vt.ID)
+		if !ok {
+			continue
+		}
+		c := vt.RunningCost(lat)
+		if !found || c < best {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
+
+// Placed is a query placed in a VM queue.
+type Placed struct {
+	// TemplateID is the query's template.
+	TemplateID int
+	// Tag is the query's per-workload identifier.
+	Tag int
+}
+
+// VM is a rented virtual machine with its ordered processing queue (§3:
+// vm_i = [q_1, q_2, ...], processed in that order).
+type VM struct {
+	// TypeID indexes Env.VMTypes.
+	TypeID int
+	// Queue holds the queries in execution order.
+	Queue []Placed
+}
+
+// Schedule is a complete or partial assignment of a workload to VMs.
+type Schedule struct {
+	VMs []VM
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{VMs: make([]VM, len(s.VMs))}
+	for i, vm := range s.VMs {
+		out.VMs[i] = VM{TypeID: vm.TypeID, Queue: append([]Placed(nil), vm.Queue...)}
+	}
+	return out
+}
+
+// NumQueries returns the number of queries placed in the schedule.
+func (s *Schedule) NumQueries() int {
+	n := 0
+	for _, vm := range s.VMs {
+		n += len(vm.Queue)
+	}
+	return n
+}
+
+// String renders the schedule in the paper's notation, e.g.
+// {vm0=[T1,T0], vm0=[T2]}.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, vm := range s.VMs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "vm%d=[", vm.TypeID)
+		for j, q := range vm.Queue {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "T%d", q.TemplateID)
+		}
+		b.WriteString("]")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Perf computes the per-query outcomes of the schedule under env: each
+// query's latency is its queue wait plus its own execution time, since
+// queries run in isolation and in order (§3, Fig. 3). Queries on VM types
+// that cannot run them are reported with a very large latency so that
+// penalties surface the mistake rather than hiding it.
+func (s *Schedule) Perf(env *Env) []sla.QueryPerf {
+	perf := make([]sla.QueryPerf, 0, s.NumQueries())
+	for _, vm := range s.VMs {
+		elapsed := time.Duration(0)
+		for _, q := range vm.Queue {
+			lat, ok := env.Latency(q.TemplateID, vm.TypeID)
+			if !ok {
+				lat = 1000 * time.Hour
+			}
+			elapsed += lat
+			perf = append(perf, sla.QueryPerf{TemplateID: q.TemplateID, Latency: elapsed})
+		}
+	}
+	return perf
+}
+
+// ProvisioningCost returns the Eq. 1 cost excluding penalties: start-up fees
+// plus processing fees, in cents.
+func (s *Schedule) ProvisioningCost(env *Env) float64 {
+	total := 0.0
+	for _, vm := range s.VMs {
+		vt := env.VMTypes[vm.TypeID]
+		total += vt.StartupCost
+		for _, q := range vm.Queue {
+			lat, ok := env.Latency(q.TemplateID, vm.TypeID)
+			if !ok {
+				lat = 1000 * time.Hour
+			}
+			total += vt.RunningCost(lat)
+		}
+	}
+	return total
+}
+
+// Cost returns the total monetary cost cost(R,S) in cents (Eq. 1).
+func (s *Schedule) Cost(env *Env, goal sla.Goal) float64 {
+	return s.ProvisioningCost(env) + goal.Penalty(s.Perf(env))
+}
+
+// Penalty returns p(R,S) in cents for the schedule.
+func (s *Schedule) Penalty(env *Env, goal sla.Goal) float64 {
+	return goal.Penalty(s.Perf(env))
+}
+
+// Validate checks structural invariants: known VM types, known templates,
+// no empty VMs (an optimal schedule never pays a start-up fee for an unused
+// VM), and that the schedule places exactly the queries of w (by tag) when
+// w is non-nil.
+func (s *Schedule) Validate(env *Env, w *workload.Workload) error {
+	seen := map[int]int{}
+	for i, vm := range s.VMs {
+		if vm.TypeID < 0 || vm.TypeID >= len(env.VMTypes) {
+			return fmt.Errorf("schedule: vm %d has unknown type %d", i, vm.TypeID)
+		}
+		if len(vm.Queue) == 0 {
+			return fmt.Errorf("schedule: vm %d is empty", i)
+		}
+		for _, q := range vm.Queue {
+			if q.TemplateID < 0 || q.TemplateID >= len(env.Templates) {
+				return fmt.Errorf("schedule: query tag %d has unknown template %d", q.Tag, q.TemplateID)
+			}
+			seen[q.Tag]++
+		}
+	}
+	if w != nil {
+		if s.NumQueries() != len(w.Queries) {
+			return fmt.Errorf("schedule: has %d queries, workload has %d", s.NumQueries(), len(w.Queries))
+		}
+		for _, q := range w.Queries {
+			if seen[q.Tag] != 1 {
+				return fmt.Errorf("schedule: query tag %d placed %d times", q.Tag, seen[q.Tag])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+func env() *Env {
+	return NewEnv(workload.DefaultTemplates(5), cloud.DefaultVMTypes(2))
+}
+
+func TestPerfComputesQueueWaits(t *testing.T) {
+	e := env()
+	s := &Schedule{VMs: []VM{{TypeID: 0, Queue: []Placed{
+		{TemplateID: 0, Tag: 0}, // 2m
+		{TemplateID: 4, Tag: 1}, // 6m
+	}}}}
+	perf := s.Perf(e)
+	if perf[0].Latency != 2*time.Minute {
+		t.Fatalf("first query latency: want 2m, got %s", perf[0].Latency)
+	}
+	if perf[1].Latency != 8*time.Minute {
+		t.Fatalf("second query waits for the first: want 8m, got %s", perf[1].Latency)
+	}
+}
+
+func TestCostMatchesEquationOne(t *testing.T) {
+	e := env()
+	goal := sla.NewMaxLatency(15*time.Minute, e.Templates, 1)
+	s := &Schedule{VMs: []VM{
+		{TypeID: 0, Queue: []Placed{{TemplateID: 0, Tag: 0}}},
+		{TypeID: 0, Queue: []Placed{{TemplateID: 4, Tag: 1}}},
+	}}
+	vt := e.VMTypes[0]
+	want := 2*vt.StartupCost + vt.RunningCost(2*time.Minute) + vt.RunningCost(6*time.Minute)
+	if got := s.Cost(e, goal); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Eq.1 cost: want %g, got %g", want, got)
+	}
+}
+
+func TestCostIncludesPenalty(t *testing.T) {
+	e := env()
+	goal := sla.NewMaxLatency(5*time.Minute, e.Templates, 1)
+	s := &Schedule{VMs: []VM{{TypeID: 0, Queue: []Placed{{TemplateID: 4, Tag: 0}}}}}
+	// 6m latency vs 5m deadline: 60s violation at 1¢/s.
+	if pen := s.Penalty(e, goal); pen != 60 {
+		t.Fatalf("want 60, got %g", pen)
+	}
+	if cost := s.Cost(e, goal); cost <= 60 {
+		t.Fatalf("cost must include provisioning on top of penalty, got %g", cost)
+	}
+}
+
+func TestHighRAMLatencyOnSmallType(t *testing.T) {
+	e := env()
+	// Template 4 is high-RAM; type 1 is t2.small with a slowdown factor.
+	lat, ok := e.Latency(4, 1)
+	if !ok {
+		t.Fatal("t2.small supports high-RAM templates (slower)")
+	}
+	want := time.Duration(e.VMTypes[1].HighRAMMultiplier * float64(6*time.Minute))
+	if lat != want {
+		t.Fatalf("high-RAM on small: want %s, got %s", want, lat)
+	}
+}
+
+func TestCheapestLatencyCost(t *testing.T) {
+	e := env()
+	// Low-RAM template 0 runs at equal speed on both; small is cheaper.
+	c, ok := e.CheapestLatencyCost(0)
+	if !ok {
+		t.Fatal("template 0 must be runnable")
+	}
+	want := e.VMTypes[1].RunningCost(2 * time.Minute)
+	if math.Abs(c-want) > 1e-12 {
+		t.Fatalf("want small-instance cost %g, got %g", want, c)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	e := env()
+	w := &workload.Workload{Templates: e.Templates, Queries: []workload.Query{
+		{TemplateID: 0, Tag: 0}, {TemplateID: 1, Tag: 1},
+	}}
+	good := &Schedule{VMs: []VM{{TypeID: 0, Queue: []Placed{
+		{TemplateID: 0, Tag: 0}, {TemplateID: 1, Tag: 1},
+	}}}}
+	if err := good.Validate(e, w); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	empty := &Schedule{VMs: []VM{{TypeID: 0}}}
+	if err := empty.Validate(e, nil); err == nil {
+		t.Fatal("empty VM must be rejected")
+	}
+	dup := &Schedule{VMs: []VM{{TypeID: 0, Queue: []Placed{
+		{TemplateID: 0, Tag: 0}, {TemplateID: 0, Tag: 0},
+	}}}}
+	if err := dup.Validate(e, w); err == nil {
+		t.Fatal("duplicate tag must be rejected")
+	}
+	badType := &Schedule{VMs: []VM{{TypeID: 9, Queue: []Placed{{TemplateID: 0, Tag: 0}}}}}
+	if err := badType.Validate(e, nil); err == nil {
+		t.Fatal("unknown VM type must be rejected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := &Schedule{VMs: []VM{{TypeID: 0, Queue: []Placed{{TemplateID: 0, Tag: 0}}}}}
+	c := s.Clone()
+	c.VMs[0].Queue[0].TemplateID = 3
+	if s.VMs[0].Queue[0].TemplateID != 0 {
+		t.Fatal("Clone must not share queue storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := &Schedule{VMs: []VM{
+		{TypeID: 0, Queue: []Placed{{TemplateID: 1}, {TemplateID: 0}}},
+		{TypeID: 1, Queue: []Placed{{TemplateID: 2}}},
+	}}
+	out := s.String()
+	if !strings.Contains(out, "vm0=[T1,T0]") || !strings.Contains(out, "vm1=[T2]") {
+		t.Fatalf("unexpected rendering %q", out)
+	}
+}

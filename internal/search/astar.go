@@ -1,0 +1,421 @@
+// Package search finds minimum-cost schedules: it runs A* over the
+// scheduling graph (§4.3) with the admissible heuristic of Eq. 3 for
+// monotonically increasing goals, an admissible penalty-corrected variant
+// for non-monotonic goals, and the adaptive-A* heuristic reuse of §5 for
+// re-solving a sample workload under a tightened goal (Lemma 5.1).
+//
+// A* is complete and, with an admissible heuristic, exact — so this package
+// also serves as the "Optimal" comparator of the paper's evaluation (§7.2).
+//
+// Non-monotonic goals (Average, Percentile) admit placement edges with
+// negative weight: a short query can lower the mean or percentile penalty
+// by more than it costs to process. The search therefore runs as
+// best-first branch-and-bound: nodes are re-opened when a cheaper path is
+// found, a goal's cost becomes an incumbent bound, and the search stops when
+// the cheapest open f-value cannot beat the incumbent. For monotonic goals
+// the heuristic is consistent and this degenerates to plain A*.
+package search
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"wisedb/internal/graph"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+// Step is one decision along an optimal path: the vertex the decision was
+// made at and the edge that was taken. Feature extraction consumes these
+// (§4.4: each decision maps to features of its origin vertex).
+type Step struct {
+	State  *graph.State
+	Action graph.Action
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Cost is the total cost (Eq. 1) of the best complete schedule found.
+	Cost float64
+	// Actions is the edge sequence from the start vertex to the goal.
+	Actions []graph.Action
+	// Path pairs each decision with the vertex it was made at.
+	Path []Step
+	// Expanded counts vertex expansions (search effort).
+	Expanded int
+	// Optimal is false only if the expansion limit interrupted the
+	// search before optimality was proven.
+	Optimal bool
+	// ClosedG maps state signatures to the best path cost with which the
+	// state was reached. Adaptive modeling (§5) feeds this into the
+	// heuristic of a re-search under a tightened goal.
+	ClosedG map[string]float64
+}
+
+// Schedule materializes the schedule the result's action path builds.
+func (r *Result) Schedule() *schedule.Schedule { return graph.BuildSchedule(r.Actions) }
+
+// Reuse is the information adaptive A* (§5) carries from a completed search
+// to a re-search of the same workload under a stricter goal: the old optimal
+// cost and the per-signature path costs. h'(v) = max(h(v), OldCost − g_old(v))
+// never overestimates under the stricter goal (Lemma 5.1).
+type Reuse struct {
+	// OldCost is cost(R, g): the optimal cost under the old goal.
+	OldCost float64
+	// G maps signatures to g_old(v).
+	G map[string]float64
+}
+
+// Options tunes a search.
+type Options struct {
+	// MaxExpansions bounds search effort; 0 means unlimited. If the
+	// limit interrupts the search, the best goal found so far (if any)
+	// is returned with Optimal=false.
+	MaxExpansions int
+	// Reuse, when non-nil, strengthens the heuristic with adaptive-A*
+	// information from a previous search of the same workload under a
+	// looser goal.
+	Reuse *Reuse
+	// KeepClosed records ClosedG in the result (needed when the result
+	// will later seed a Reuse). It costs memory proportional to the
+	// number of distinct states seen.
+	KeepClosed bool
+	// IncumbentCost seeds branch-and-bound with a known achievable cost
+	// (e.g. from a heuristic schedule); 0 means none. Nodes that cannot
+	// beat it are pruned immediately. If the search finds nothing
+	// cheaper, it reports ErrSeedIsOptimal: the seed schedule was
+	// already optimal (within eps).
+	IncumbentCost float64
+}
+
+// ErrSeedIsOptimal is returned when branch-and-bound proves no schedule
+// beats the seeded incumbent cost.
+var ErrSeedIsOptimal = errors.New("search: seeded incumbent is optimal")
+
+// ErrNoSchedule is returned when no complete schedule exists (e.g. a
+// template no VM type can run).
+var ErrNoSchedule = errors.New("search: no complete schedule exists")
+
+const eps = 1e-9
+
+// node is an entry of the open list.
+type node struct {
+	state  *graph.State
+	sig    string
+	g      float64
+	f      float64
+	parent *node
+	act    graph.Action
+	index  int // heap index; -1 when not in the heap
+}
+
+// openHeap is a min-heap on f, breaking ties toward deeper states (fewer
+// remaining queries) to reach goals sooner among equals.
+type openHeap []*node
+
+func (h openHeap) Len() int { return len(h) }
+func (h openHeap) Less(i, j int) bool {
+	if h[i].f != h[j].f {
+		return h[i].f < h[j].f
+	}
+	return h[i].state.RemainingQueries() < h[j].state.RemainingQueries()
+}
+func (h openHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *openHeap) Push(x any) {
+	n := x.(*node)
+	n.index = len(*h)
+	*h = append(*h, n)
+}
+func (h *openHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	n.index = -1
+	*h = old[:len(old)-1]
+	return n
+}
+
+// Searcher solves scheduling problems. It precomputes the per-template
+// cheapest processing costs used by the Eq. 3 heuristic.
+type Searcher struct {
+	prob         *graph.Problem
+	minCost      []float64
+	minLat       []time.Duration
+	latOrderDesc []int
+}
+
+// New returns a Searcher for the problem. It returns an error if some
+// template cannot run on any VM type (no complete schedule could exist).
+func New(prob *graph.Problem) (*Searcher, error) {
+	minCost := make([]float64, len(prob.Env.Templates))
+	minLat := make([]time.Duration, len(prob.Env.Templates))
+	for i := range prob.Env.Templates {
+		c, ok := prob.Env.CheapestLatencyCost(i)
+		if !ok {
+			return nil, fmt.Errorf("%w: template %d runs on no VM type", ErrNoSchedule, i)
+		}
+		minCost[i] = c
+		fastest := time.Duration(0)
+		for _, vt := range prob.Env.VMTypes {
+			lat, ok := prob.Env.Latency(i, vt.ID)
+			if !ok {
+				continue
+			}
+			if fastest == 0 || lat < fastest {
+				fastest = lat
+			}
+		}
+		minLat[i] = fastest
+	}
+	s := &Searcher{prob: prob, minCost: minCost, minLat: minLat}
+	s.initLatOrder()
+	return s, nil
+}
+
+// Problem returns the problem the searcher was built for.
+func (s *Searcher) Problem() *graph.Problem { return s.prob }
+
+// heuristic returns an admissible estimate of the cost-to-go from state st.
+// For monotonic goals it is Eq. 3: the cheapest possible processing cost of
+// every unassigned query. For non-monotonic goals the accumulated penalty
+// may still be refunded by future placements, so the admissible form
+// subtracts it (the final penalty is at least zero). Adaptive reuse takes
+// the max with OldCost − g_old (Lemma 5.1).
+func (s *Searcher) heuristic(st *graph.State, sig string, reuse *Reuse) float64 {
+	h := 0.0
+	remaining := 0
+	var minFutureLat time.Duration
+	for t, c := range st.Unassigned {
+		h += float64(c) * s.minCost[t]
+		remaining += c
+		minFutureLat += time.Duration(c) * s.minLat[t]
+	}
+	if !s.prob.Goal.Monotonic() {
+		// The accumulated penalty may be partially refunded by future
+		// placements, but never below an admissible lower bound on
+		// the final penalty.
+		switch goal := s.prob.Goal.(type) {
+		case sla.Average:
+			if remaining > 0 {
+				h += s.averageBound(st, goal, remaining) - st.Acc.Penalty()
+			}
+		case sla.Percentile:
+			bound := sla.MinFinalPenalty(goal, st.Acc, remaining, minFutureLat)
+			if remaining > 0 {
+				if fees := s.percentileBound(st, goal, remaining); fees > bound {
+					bound = fees
+				}
+			}
+			h += bound - st.Acc.Penalty()
+		default:
+			h += sla.MinFinalPenalty(s.prob.Goal, st.Acc, remaining, minFutureLat) - st.Acc.Penalty()
+		}
+	} else if remaining > 0 {
+		h += s.packingBound(st, minFutureLat)
+	}
+	if reuse != nil {
+		if gOld, ok := reuse.G[sig]; ok {
+			if adaptive := reuse.OldCost - gOld; adaptive > h {
+				h = adaptive
+			}
+		}
+	}
+	return h
+}
+
+// packingBound lower-bounds the future start-up and penalty cost for
+// monotonic goals by relaxing query granularity to divisible work. The open
+// VM can absorb room−Wait more work penalty-free and each new VM absorbs
+// `room`; work spilling past the absorbed room appears in the violation
+// period of at least the last query of its VM, so for k additional VMs the
+// future extra cost is at least
+//
+//	k × min-startup + rate × max(0, W − openRoom − k×room)
+//
+// where W is the minimum total future execution time. The bound takes the
+// best k, which a completion is free to match but never beat.
+func (s *Searcher) packingBound(st *graph.State, minFutureLat time.Duration) float64 {
+	room, rate, ok := sla.FutureRoom(s.prob.Goal, st.Unassigned)
+	if !ok || room <= 0 {
+		return 0
+	}
+	minStartup := math.Inf(1)
+	for _, vt := range s.prob.Env.VMTypes {
+		if vt.StartupCost < minStartup {
+			minStartup = vt.StartupCost
+		}
+	}
+	openRoom := time.Duration(0)
+	if st.OpenType != graph.NoVM && room > st.Wait {
+		openRoom = room - st.Wait
+	}
+	kLow := 0.0
+	spill := minFutureLat - openRoom
+	if st.OpenType == graph.NoVM {
+		// No VM is rented yet: at least one start-up fee is certain.
+		spill = minFutureLat
+		kLow = 1
+	}
+	if spill <= 0 && kLow == 0 {
+		return 0
+	}
+	// The cost is convex in k, so the best k is kLow or one of the two
+	// integers around the penalty-free crossover point.
+	kCross := float64(spill) / float64(room)
+	best := math.Inf(1)
+	for _, k := range []float64{kLow, math.Floor(kCross), math.Ceil(kCross)} {
+		if k < kLow {
+			continue
+		}
+		cost := k * minStartup
+		if residual := spill - time.Duration(k*float64(room)); residual > 0 {
+			cost += rate * residual.Seconds()
+		}
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+// Solve finds a minimum-cost complete schedule for the workload.
+func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
+	if len(w.Templates) != len(s.prob.Env.Templates) {
+		return nil, fmt.Errorf("search: workload has %d templates, problem expects %d", len(w.Templates), len(s.prob.Env.Templates))
+	}
+	start := s.prob.Start(w)
+	startSig := s.prob.Signature(start)
+	root := &node{state: start, sig: startSig, g: 0, index: -1}
+	root.f = s.heuristic(start, startSig, opts.Reuse)
+
+	open := &openHeap{}
+	heap.Init(open)
+	heap.Push(open, root)
+	best := map[string]*node{startSig: root}
+	var dom *dominanceIndex
+	if _, isPct := s.prob.Goal.(sla.Percentile); isPct {
+		dom = newDominanceIndex()
+		dom.insert(start, 0)
+	}
+
+	var incumbent *node
+	incumbentCost := math.Inf(1)
+	seeded := false
+	if opts.IncumbentCost > 0 {
+		incumbentCost = opts.IncumbentCost + eps
+		seeded = true
+	}
+	expanded := 0
+	optimal := true
+
+	for open.Len() > 0 {
+		n := heap.Pop(open).(*node)
+		if b := best[n.sig]; b != nil && b.g < n.g-eps {
+			continue // stale entry superseded by a cheaper path
+		}
+		if n.f >= incumbentCost-eps && (incumbent != nil || seeded) {
+			// Nothing in the open list can beat the incumbent:
+			// every other open node has f >= n.f, and f never
+			// overestimates the cost of completions.
+			break
+		}
+		if n.state.IsGoal() {
+			if n.g < incumbentCost {
+				incumbent, incumbentCost = n, n.g
+			}
+			continue
+		}
+		expanded++
+		if opts.MaxExpansions > 0 && expanded > opts.MaxExpansions {
+			optimal = false
+			break
+		}
+		for _, a := range s.prob.Actions(n.state) {
+			var cost float64
+			switch a.Kind {
+			case graph.Startup:
+				cost = s.prob.StartupCost(a.VMType)
+			case graph.Place:
+				c, ok := s.prob.PlacementCost(n.state, a.Template)
+				if !ok {
+					continue
+				}
+				cost = c
+			}
+			child := s.prob.Apply(n.state, a)
+			sig := s.prob.Signature(child)
+			g := n.g + cost
+			if b, ok := best[sig]; ok && b.g <= g+eps {
+				continue
+			}
+			if dom != nil {
+				if dom.dominated(child, g) {
+					continue
+				}
+				dom.insert(child, g)
+			}
+			cn := &node{state: child, sig: sig, g: g, parent: n, act: a, index: -1}
+			cn.f = g + s.heuristic(child, sig, opts.Reuse)
+			if cn.f >= incumbentCost-eps {
+				continue // bound: cannot beat the incumbent
+			}
+			best[sig] = cn
+			heap.Push(open, cn)
+		}
+	}
+
+	if incumbent == nil {
+		if !optimal {
+			return nil, fmt.Errorf("search: expansion limit %d hit before any schedule was found", opts.MaxExpansions)
+		}
+		if seeded {
+			return nil, ErrSeedIsOptimal
+		}
+		return nil, ErrNoSchedule
+	}
+
+	res := &Result{Cost: incumbent.g, Expanded: expanded, Optimal: optimal}
+	for n := incumbent; n.parent != nil; n = n.parent {
+		res.Actions = append(res.Actions, n.act)
+		res.Path = append(res.Path, Step{State: n.parent.state, Action: n.act})
+	}
+	reverseActions(res.Actions)
+	reverseSteps(res.Path)
+	if opts.KeepClosed {
+		res.ClosedG = make(map[string]float64, len(best))
+		for sig, n := range best {
+			res.ClosedG[sig] = n.g
+		}
+	}
+	return res, nil
+}
+
+// ReuseFrom packages a completed search into the adaptive-A* reuse
+// information for a re-search under a stricter goal (§5). The result must
+// have been produced with KeepClosed set.
+func ReuseFrom(r *Result) *Reuse {
+	if r.ClosedG == nil {
+		panic("search: ReuseFrom requires a result produced with KeepClosed")
+	}
+	return &Reuse{OldCost: r.Cost, G: r.ClosedG}
+}
+
+func reverseActions(a []graph.Action) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+func reverseSteps(a []Step) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}

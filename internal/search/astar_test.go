@@ -1,0 +1,303 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/graph"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+func testEnv(numTemplates, numTypes int) *schedule.Env {
+	return schedule.NewEnv(workload.DefaultTemplates(numTemplates), cloud.DefaultVMTypes(numTypes))
+}
+
+func goalSet(env *schedule.Env) map[string]sla.Goal {
+	return map[string]sla.Goal{
+		"max":        sla.NewMaxLatency(15*time.Minute, env.Templates, sla.DefaultPenaltyRate),
+		"perquery":   sla.NewPerQuery(3, env.Templates, sla.DefaultPenaltyRate),
+		"average":    sla.NewAverage(10*time.Minute, env.Templates, sla.DefaultPenaltyRate),
+		"percentile": sla.NewPercentile(90, 10*time.Minute, env.Templates, sla.DefaultPenaltyRate),
+	}
+}
+
+func solve(t *testing.T, prob *graph.Problem, w *workload.Workload, opts Options) *Result {
+	t.Helper()
+	s, err := New(prob)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := s.Solve(w, opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+// A* must agree with exhaustive enumeration on tiny workloads for every
+// goal family, including the non-monotonic ones with negative edges.
+func TestAStarMatchesBruteForce(t *testing.T) {
+	env := testEnv(3, 2)
+	sampler := workload.NewSampler(env.Templates, 7)
+	for name, goal := range goalSet(env) {
+		t.Run(name, func(t *testing.T) {
+			prob := graph.NewProblem(env, goal)
+			for trial := 0; trial < 8; trial++ {
+				w := sampler.Uniform(5)
+				res := solve(t, prob, w, Options{})
+				want := BruteForceCost(prob, w)
+				if math.Abs(res.Cost-want) > 1e-6 {
+					t.Fatalf("trial %d: A* cost %.6f, brute force %.6f (schedule %s)", trial, res.Cost, want, res.Schedule())
+				}
+			}
+		})
+	}
+}
+
+// The cost reported by the search must equal the Eq. 1 cost of the schedule
+// it returns.
+func TestSearchCostMatchesScheduleCost(t *testing.T) {
+	env := testEnv(5, 2)
+	sampler := workload.NewSampler(env.Templates, 11)
+	for name, goal := range goalSet(env) {
+		t.Run(name, func(t *testing.T) {
+			prob := graph.NewProblem(env, goal)
+			for trial := 0; trial < 5; trial++ {
+				w := sampler.Uniform(8)
+				res := solve(t, prob, w, Options{})
+				sched := res.Schedule()
+				if err := sched.Validate(env, w); err != nil {
+					t.Fatalf("invalid schedule: %v", err)
+				}
+				if got := sched.Cost(env, goal); math.Abs(got-res.Cost) > 1e-6 {
+					t.Fatalf("trial %d: search cost %.6f, schedule cost %.6f", trial, res.Cost, got)
+				}
+			}
+		})
+	}
+}
+
+// With tight deadlines, the optimal schedule must spread queries across VMs
+// instead of paying penalties; with very loose deadlines it must consolidate
+// onto a single VM to avoid start-up fees.
+func TestSearchRespondsToDeadlineTightness(t *testing.T) {
+	env := testEnv(2, 1)
+	w := &workload.Workload{Templates: env.Templates, Queries: []workload.Query{
+		{TemplateID: 1, Tag: 0}, {TemplateID: 1, Tag: 1}, {TemplateID: 1, Tag: 2},
+	}}
+	tight := sla.NewMaxLatency(env.Templates[1].BaseLatency, env.Templates, sla.DefaultPenaltyRate)
+	res := solve(t, graph.NewProblem(env, tight), w, Options{})
+	if got := len(res.Schedule().VMs); got != 3 {
+		t.Fatalf("tight deadline: want 3 VMs, got %d (%s)", got, res.Schedule())
+	}
+	loose := sla.NewMaxLatency(24*time.Hour, env.Templates, sla.DefaultPenaltyRate)
+	res = solve(t, graph.NewProblem(env, loose), w, Options{})
+	if got := len(res.Schedule().VMs); got != 1 {
+		t.Fatalf("loose deadline: want 1 VM, got %d (%s)", got, res.Schedule())
+	}
+}
+
+// The paper's §3 worked example: three templates with latencies 4, 3, and 2
+// minutes, two queries each, max total execution time below nine minutes.
+// FFD needs 3 VMs, FFI needs 3 VMs, and the optimum packs
+// {[T1,T2,T3], [T1,T2,T3]} into two VMs.
+func TestSearchFindsSectionThreeCounterexample(t *testing.T) {
+	templates := []workload.Template{
+		{ID: 0, Name: "T1", BaseLatency: 4 * time.Minute},
+		{ID: 1, Name: "T2", BaseLatency: 3 * time.Minute},
+		{ID: 2, Name: "T3", BaseLatency: 2 * time.Minute},
+	}
+	env := schedule.NewEnv(templates, cloud.DefaultVMTypes(1))
+	goal := sla.NewMaxLatency(9*time.Minute, templates, 100) // stiff penalty: effectively a hard deadline
+	w := &workload.Workload{Templates: templates, Queries: []workload.Query{
+		{TemplateID: 0, Tag: 0}, {TemplateID: 0, Tag: 1},
+		{TemplateID: 1, Tag: 2}, {TemplateID: 1, Tag: 3},
+		{TemplateID: 2, Tag: 4}, {TemplateID: 2, Tag: 5},
+	}}
+	res := solve(t, graph.NewProblem(env, goal), w, Options{})
+	if got := len(res.Schedule().VMs); got != 2 {
+		t.Fatalf("want the 2-VM optimum from §3, got %d VMs (%s)", got, res.Schedule())
+	}
+	if pen := res.Schedule().Penalty(env, goal); pen != 0 {
+		t.Fatalf("optimal schedule should meet the 9m goal, penalty %.2f", pen)
+	}
+}
+
+// Adaptive reuse (§5) must preserve optimality: re-searching under a
+// tightened goal with the old search's heuristic reuse yields exactly the
+// cost of a fresh search.
+func TestAdaptiveReuseMatchesFreshSearch(t *testing.T) {
+	env := testEnv(4, 1)
+	sampler := workload.NewSampler(env.Templates, 3)
+	for name, goal := range goalSet(env) {
+		t.Run(name, func(t *testing.T) {
+			prob := graph.NewProblem(env, goal)
+			s, err := New(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 6; trial++ {
+				w := sampler.Uniform(7)
+				old, err := s.Solve(w, Options{KeepClosed: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range []float64{0.2, 0.5, 0.8} {
+					tightened := goal.Tighten(p)
+					tProb := graph.NewProblem(env, tightened)
+					ts, err := New(tProb)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fresh, err := ts.Solve(w, Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					adaptive, err := ts.Solve(w, Options{Reuse: ReuseFrom(old)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(fresh.Cost-adaptive.Cost) > 1e-6 {
+						t.Fatalf("trial %d p=%.1f: fresh %.6f, adaptive %.6f", trial, p, fresh.Cost, adaptive.Cost)
+					}
+					if adaptive.Expanded > fresh.Expanded {
+						t.Logf("trial %d p=%.1f: adaptive expanded %d > fresh %d (allowed but unexpected)", trial, p, adaptive.Expanded, fresh.Expanded)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Tightening a goal can only increase the optimal cost (the formal core of
+// Lemma 5.1).
+func TestTighteningNeverDecreasesOptimalCost(t *testing.T) {
+	env := testEnv(3, 1)
+	sampler := workload.NewSampler(env.Templates, 13)
+	for name, goal := range goalSet(env) {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 5; trial++ {
+				w := sampler.Uniform(6)
+				prev := -math.MaxFloat64
+				for _, p := range []float64{-0.4, 0, 0.3, 0.6, 0.9} {
+					g := goal.Tighten(p)
+					res := solve(t, graph.NewProblem(env, g), w, Options{})
+					if res.Cost < prev-1e-6 {
+						t.Fatalf("trial %d: tightening to p=%.1f decreased cost %.6f -> %.6f", trial, p, prev, res.Cost)
+					}
+					prev = res.Cost
+				}
+			}
+		})
+	}
+}
+
+// The heuristic of Eq. 3 must never overestimate: the f-value of the start
+// vertex is a lower bound on the optimal cost.
+func TestHeuristicAdmissibleAtStart(t *testing.T) {
+	env := testEnv(4, 2)
+	sampler := workload.NewSampler(env.Templates, 5)
+	for name, goal := range goalSet(env) {
+		t.Run(name, func(t *testing.T) {
+			prob := graph.NewProblem(env, goal)
+			s, err := New(prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				w := sampler.Uniform(6)
+				start := prob.Start(w)
+				h := 0.0
+				for tid, c := range start.Unassigned {
+					mc, ok := env.CheapestLatencyCost(tid)
+					if !ok {
+						t.Fatal("template not runnable")
+					}
+					h += float64(c) * mc
+				}
+				res, err := s.Solve(w, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if h > res.Cost+1e-6 {
+					t.Fatalf("trial %d: heuristic %.6f exceeds optimal %.6f", trial, h, res.Cost)
+				}
+			}
+		})
+	}
+}
+
+// Paths must obey the graph reductions: no start-up edge while the open VM
+// is empty, and every placement targets the open VM by construction.
+func TestOptimalPathObeysReductions(t *testing.T) {
+	env := testEnv(4, 2)
+	goal := sla.NewMaxLatency(15*time.Minute, env.Templates, sla.DefaultPenaltyRate)
+	sampler := workload.NewSampler(env.Templates, 17)
+	prob := graph.NewProblem(env, goal)
+	for trial := 0; trial < 5; trial++ {
+		w := sampler.Uniform(8)
+		res := solve(t, prob, w, Options{})
+		if res.Actions[0].Kind != graph.Startup {
+			t.Fatal("first action must rent a VM")
+		}
+		for i := 1; i < len(res.Actions); i++ {
+			if res.Actions[i].Kind == graph.Startup && res.Actions[i-1].Kind == graph.Startup {
+				t.Fatalf("trial %d: consecutive start-up edges at %d", trial, i)
+			}
+		}
+		if res.Actions[len(res.Actions)-1].Kind != graph.Place {
+			t.Fatal("last action must place a query (no trailing empty VM)")
+		}
+	}
+}
+
+// Expansion limits must surface as non-optimal results, not wrong answers.
+func TestExpansionLimit(t *testing.T) {
+	env := testEnv(5, 1)
+	goal := sla.NewMaxLatency(15*time.Minute, env.Templates, sla.DefaultPenaltyRate)
+	sampler := workload.NewSampler(env.Templates, 29)
+	w := sampler.Uniform(10)
+	s, err := New(graph.NewProblem(env, goal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(w, Options{MaxExpansions: 1}); err == nil {
+		t.Fatal("want error when the limit fires before any schedule exists")
+	}
+	full, err := s.Solve(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Optimal {
+		t.Fatal("unlimited search must report Optimal")
+	}
+}
+
+// Larger workloads must still solve exactly and quickly enough for training:
+// this guards against state-space blowups from signature regressions.
+func TestSearchScalesToTrainingSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(10, 1)
+	goal := sla.NewMaxLatency(15*time.Minute, env.Templates, sla.DefaultPenaltyRate)
+	sampler := workload.NewSampler(env.Templates, rand.Int63())
+	s, err := New(graph.NewProblem(env, goal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sampler.Uniform(18)
+	res, err := s.Solve(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Schedule().NumQueries() != 18 {
+		t.Fatalf("want optimal complete schedule, got optimal=%v queries=%d", res.Optimal, res.Schedule().NumQueries())
+	}
+	t.Logf("m=18 search expanded %d states, cost %.2f¢, %d VMs", res.Expanded, res.Cost, len(res.Schedule().VMs))
+}

@@ -1,0 +1,48 @@
+package search
+
+import (
+	"math"
+
+	"wisedb/internal/graph"
+	"wisedb/internal/workload"
+)
+
+// BruteForceCost exhaustively enumerates every path of the reduced
+// scheduling graph and returns the minimum complete-schedule cost. It is
+// exponential and intended only for cross-checking A* on tiny workloads in
+// tests; maxQueries guards against accidental misuse.
+const maxBruteForceQueries = 8
+
+// BruteForceCost returns the exact optimal cost by exhaustive enumeration.
+// It panics if the workload exceeds the brute-force size guard.
+func BruteForceCost(prob *graph.Problem, w *workload.Workload) float64 {
+	if len(w.Queries) > maxBruteForceQueries {
+		panic("search: BruteForceCost workload too large")
+	}
+	best := math.Inf(1)
+	var dfs func(s *graph.State, g float64)
+	dfs = func(s *graph.State, g float64) {
+		if s.IsGoal() {
+			if g < best {
+				best = g
+			}
+			return
+		}
+		for _, a := range prob.Actions(s) {
+			var cost float64
+			switch a.Kind {
+			case graph.Startup:
+				cost = prob.StartupCost(a.VMType)
+			case graph.Place:
+				c, ok := prob.PlacementCost(s, a.Template)
+				if !ok {
+					continue
+				}
+				cost = c
+			}
+			dfs(prob.Apply(s, a), g+cost)
+		}
+	}
+	dfs(prob.Start(w), 0)
+	return best
+}

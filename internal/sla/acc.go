@@ -1,0 +1,276 @@
+package sla
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+)
+
+// Accumulator tracks the penalty of a growing schedule incrementally. The
+// scheduling-graph search charges each placement edge the penalty delta
+// p(R, v_s) − p(R, u_s) (Eq. 2); accumulators compute those deltas in O(1)
+// or O(n) without re-deriving the whole schedule, and expose exactly the
+// penalty-relevant summary of schedule history for state deduplication.
+//
+// Accumulators are immutable: Add returns a new accumulator.
+type Accumulator interface {
+	// Penalty returns p(R, S) in cents for the queries added so far.
+	Penalty() float64
+	// Add returns a new accumulator with one more completed query of the
+	// given template and latency.
+	Add(templateID int, latency time.Duration) Accumulator
+	// PeekAdd returns Add(templateID, latency).Penalty() without
+	// allocating the successor accumulator. Placement-edge weights and
+	// the cost-of-X feature evaluate many hypothetical additions per
+	// state; PeekAdd keeps them O(log n) even for distribution-based
+	// goals.
+	PeekAdd(templateID int, latency time.Duration) float64
+	// AppendSignature appends a canonical encoding of the accumulator's
+	// penalty-relevant state to buf. Two search states whose accumulators
+	// produce identical signatures (and that otherwise agree) have
+	// identical future costs.
+	AppendSignature(buf []byte) []byte
+}
+
+// NewAccumulator returns an empty accumulator for the goal.
+func NewAccumulator(g Goal) Accumulator {
+	if pct, ok := g.(Percentile); ok {
+		return pctAcc{goal: pct}
+	}
+	switch g.Class() {
+	case ClassDecomposable:
+		return decompAcc{goal: g}
+	case ClassMeanBased:
+		return meanAcc{goal: g}
+	case ClassDistribution:
+		return distAcc{goal: g}
+	default:
+		panic("sla: unknown goal class")
+	}
+}
+
+// decompAcc handles decomposable goals (PerQuery, Max): the penalty is a sum
+// of independent per-query penalties, so only the running total matters and
+// the deduplication signature is empty (history cannot affect future
+// penalties).
+type decompAcc struct {
+	goal    Goal
+	penalty float64
+}
+
+func (a decompAcc) Penalty() float64 { return a.penalty }
+
+func (a decompAcc) Add(templateID int, latency time.Duration) Accumulator {
+	a.penalty += a.goal.Penalty([]QueryPerf{{TemplateID: templateID, Latency: latency}})
+	return a
+}
+
+func (a decompAcc) PeekAdd(templateID int, latency time.Duration) float64 {
+	return a.penalty + a.goal.Penalty([]QueryPerf{{TemplateID: templateID, Latency: latency}})
+}
+
+func (a decompAcc) AppendSignature(buf []byte) []byte { return buf }
+
+// meanAcc handles the Average goal: the penalty depends only on the count
+// and sum of latencies.
+type meanAcc struct {
+	goal Goal
+	n    int
+	sum  time.Duration
+}
+
+func (a meanAcc) Penalty() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	perf := []QueryPerf{{TemplateID: 0, Latency: a.sum / time.Duration(a.n)}}
+	return a.goal.Penalty(perf)
+}
+
+func (a meanAcc) Add(templateID int, latency time.Duration) Accumulator {
+	a.n++
+	a.sum += latency
+	return a
+}
+
+func (a meanAcc) PeekAdd(templateID int, latency time.Duration) float64 {
+	perf := []QueryPerf{{TemplateID: 0, Latency: (a.sum + latency) / time.Duration(a.n+1)}}
+	return a.goal.Penalty(perf)
+}
+
+func (a meanAcc) AppendSignature(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(a.n))
+	return binary.AppendVarint(buf, int64(a.sum/time.Millisecond))
+}
+
+// pctAcc is the Percentile accumulator. The percentile penalty depends on
+// the latency multiset only through (a) how many latencies meet the
+// deadline and (b) the sorted latencies exceeding it: all values at or
+// under the deadline are interchangeable. Collapsing them keeps Add cheap
+// and — crucially — lets the A* search merge the huge families of states
+// that differ only in sub-deadline latencies.
+type pctAcc struct {
+	goal  Percentile
+	below int             // latencies <= deadline
+	above []time.Duration // latencies > deadline, sorted ascending; copied on Add
+}
+
+// rank returns the 1-based rank of the goal's percentile in a workload of
+// size n (nearest-rank definition, as in Percentile.Penalty).
+func (a pctAcc) rank(n int) int {
+	rank := int((a.goal.Percent/100)*float64(n) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank
+}
+
+func (a pctAcc) Penalty() float64 {
+	n := a.below + len(a.above)
+	if n == 0 {
+		return 0
+	}
+	rank := a.rank(n)
+	if rank <= a.below {
+		return 0
+	}
+	return ratePenalty(a.above[rank-a.below-1]-a.goal.Deadline, a.goal.Rate)
+}
+
+func (a pctAcc) Add(templateID int, latency time.Duration) Accumulator {
+	if latency <= a.goal.Deadline {
+		a.below++
+		return a
+	}
+	above := make([]time.Duration, len(a.above)+1)
+	i := sort.Search(len(a.above), func(i int) bool { return a.above[i] >= latency })
+	copy(above, a.above[:i])
+	above[i] = latency
+	copy(above[i+1:], a.above[i:])
+	a.above = above
+	return a
+}
+
+func (a pctAcc) PeekAdd(templateID int, latency time.Duration) float64 {
+	n := a.below + len(a.above) + 1
+	rank := a.rank(n)
+	below := a.below
+	if latency <= a.goal.Deadline {
+		below++
+		if rank <= below {
+			return 0
+		}
+		return ratePenalty(a.above[rank-below-1]-a.goal.Deadline, a.goal.Rate)
+	}
+	if rank <= below {
+		return 0
+	}
+	idx := sort.Search(len(a.above), func(i int) bool { return a.above[i] >= latency })
+	p := rank - below - 1 // index into the virtual sorted "above" with latency inserted at idx
+	var at time.Duration
+	switch {
+	case p < idx:
+		at = a.above[p]
+	case p == idx:
+		at = latency
+	default:
+		at = a.above[p-1]
+	}
+	return ratePenalty(at-a.goal.Deadline, a.goal.Rate)
+}
+
+func (a pctAcc) AppendSignature(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(a.below))
+	for _, l := range a.above {
+		buf = binary.AppendVarint(buf, int64(l/time.Millisecond))
+	}
+	return buf
+}
+
+// MeanState reports the query count and latency sum tracked by an Average
+// goal's accumulator. ok is false for other accumulator kinds. The search
+// uses it to couple its future-VM-count bound with the mean constraint.
+func MeanState(acc Accumulator) (n int, sum time.Duration, ok bool) {
+	a, isMean := acc.(meanAcc)
+	if !isMean {
+		return 0, 0, false
+	}
+	return a.n, a.sum, true
+}
+
+// PctState reports the deadline-meeting query count and the sorted
+// violating latencies tracked by a Percentile goal's accumulator. ok is
+// false for other accumulator kinds.
+func PctState(acc Accumulator) (below int, above []time.Duration, ok bool) {
+	a, isPct := acc.(pctAcc)
+	if !isPct {
+		return 0, nil, false
+	}
+	return a.below, a.above, true
+}
+
+// distAcc handles distribution-dependent goals other than Percentile: the
+// penalty depends on the full latency multiset, kept sorted.
+type distAcc struct {
+	goal Goal
+	lats []time.Duration // sorted ascending; shared, copied on Add
+}
+
+func (a distAcc) Penalty() float64 {
+	if len(a.lats) == 0 {
+		return 0
+	}
+	perf := make([]QueryPerf, len(a.lats))
+	for i, l := range a.lats {
+		perf[i] = QueryPerf{Latency: l}
+	}
+	return a.goal.Penalty(perf)
+}
+
+func (a distAcc) Add(templateID int, latency time.Duration) Accumulator {
+	lats := make([]time.Duration, len(a.lats)+1)
+	i := sort.Search(len(a.lats), func(i int) bool { return a.lats[i] >= latency })
+	copy(lats, a.lats[:i])
+	lats[i] = latency
+	copy(lats[i+1:], a.lats[i:])
+	a.lats = lats
+	return a
+}
+
+func (a distAcc) PeekAdd(templateID int, latency time.Duration) float64 {
+	goal, ok := a.goal.(Percentile)
+	if !ok {
+		return a.Add(templateID, latency).Penalty()
+	}
+	n := len(a.lats) + 1
+	rank := int((goal.Percent/100)*float64(n) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	// Value at the rank-th position of the sorted multiset with the new
+	// latency virtually inserted at index idx.
+	idx := sort.Search(len(a.lats), func(i int) bool { return a.lats[i] >= latency })
+	var at time.Duration
+	switch {
+	case rank-1 < idx:
+		at = a.lats[rank-1]
+	case rank-1 == idx:
+		at = latency
+	default:
+		at = a.lats[rank-2]
+	}
+	return ratePenalty(overage(at, goal.Deadline), goal.Rate)
+}
+
+func (a distAcc) AppendSignature(buf []byte) []byte {
+	for _, l := range a.lats {
+		buf = binary.AppendVarint(buf, int64(l/time.Millisecond))
+	}
+	return buf
+}

@@ -1,0 +1,321 @@
+package sla
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wisedb/internal/workload"
+)
+
+func templates() []workload.Template { return workload.DefaultTemplates(5) }
+
+func perf(lats ...time.Duration) []QueryPerf {
+	out := make([]QueryPerf, len(lats))
+	for i, l := range lats {
+		out[i] = QueryPerf{TemplateID: i % 5, Latency: l}
+	}
+	return out
+}
+
+func TestMaxLatencyPenalty(t *testing.T) {
+	g := NewMaxLatency(10*time.Minute, templates(), 1)
+	if got := g.Penalty(perf(5*time.Minute, 10*time.Minute)); got != 0 {
+		t.Fatalf("on-time queries: want 0, got %g", got)
+	}
+	// 1¢/s × 30s overage.
+	if got := g.Penalty(perf(10*time.Minute + 30*time.Second)); got != 30 {
+		t.Fatalf("30s overage: want 30, got %g", got)
+	}
+	// Overages add across queries.
+	if got := g.Penalty(perf(11*time.Minute, 12*time.Minute)); got != 60+120 {
+		t.Fatalf("want 180, got %g", got)
+	}
+}
+
+func TestPerQueryPenaltyUsesTemplateDeadlines(t *testing.T) {
+	ts := templates()
+	g := NewPerQuery(3, ts, 1)
+	for i, tpl := range ts {
+		if got, want := g.Deadline(i), 3*tpl.BaseLatency; got != want {
+			t.Fatalf("template %d deadline: want %s, got %s", i, want, got)
+		}
+	}
+	// Template 0 (2m latency, 6m deadline) at 7m: 60s over.
+	p := []QueryPerf{{TemplateID: 0, Latency: 7 * time.Minute}}
+	if got := g.Penalty(p); got != 60 {
+		t.Fatalf("want 60, got %g", got)
+	}
+	// Unknown template falls back to the loosest deadline.
+	if d := g.Deadline(99); d != 3*ts[4].BaseLatency {
+		t.Fatalf("unknown template deadline: got %s", d)
+	}
+}
+
+func TestAveragePenalty(t *testing.T) {
+	g := NewAverage(10*time.Minute, templates(), 1)
+	if got := g.Penalty(perf(9*time.Minute, 11*time.Minute)); got != 0 {
+		t.Fatalf("avg exactly 10m: want 0, got %g", got)
+	}
+	// avg = 12m -> 120s overage.
+	if got := g.Penalty(perf(10*time.Minute, 14*time.Minute)); got != 120 {
+		t.Fatalf("want 120, got %g", got)
+	}
+	if got := g.Penalty(nil); got != 0 {
+		t.Fatalf("empty workload: want 0, got %g", got)
+	}
+}
+
+func TestPercentilePenalty(t *testing.T) {
+	g := NewPercentile(90, 10*time.Minute, templates(), 1)
+	// 10 queries: rank = 9. Exactly one may exceed the deadline.
+	lats := make([]time.Duration, 10)
+	for i := range lats {
+		lats[i] = 5 * time.Minute
+	}
+	lats[9] = 30 * time.Minute
+	if got := g.Penalty(perf(lats...)); got != 0 {
+		t.Fatalf("one violator out of 10 at 90%%: want 0, got %g", got)
+	}
+	lats[8] = 12 * time.Minute // second violator: the 9th latency is 12m
+	if got := g.Penalty(perf(lats...)); got != 120 {
+		t.Fatalf("rank-9 latency 12m: want 120, got %g", got)
+	}
+}
+
+func TestMonotonicityFlags(t *testing.T) {
+	ts := templates()
+	for _, c := range []struct {
+		g    Goal
+		want bool
+	}{
+		{NewMaxLatency(10*time.Minute, ts, 1), true},
+		{NewPerQuery(3, ts, 1), true},
+		{NewAverage(10*time.Minute, ts, 1), false},
+		{NewPercentile(90, 10*time.Minute, ts, 1), false},
+	} {
+		if c.g.Monotonic() != c.want {
+			t.Errorf("%s: Monotonic() = %v, want %v", c.g.Name(), c.g.Monotonic(), c.want)
+		}
+	}
+}
+
+// Property (§4.3): for monotonic goals, appending a query never decreases
+// the penalty of the accumulated schedule.
+func TestMonotonicGoalsNeverRefund(t *testing.T) {
+	ts := templates()
+	goals := []Goal{NewMaxLatency(10*time.Minute, ts, 1), NewPerQuery(3, ts, 1)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, g := range goals {
+			acc := NewAccumulator(g)
+			prev := 0.0
+			for i := 0; i < 20; i++ {
+				acc = acc.Add(rng.Intn(5), time.Duration(rng.Intn(1800))*time.Second)
+				if p := acc.Penalty(); p < prev-1e-9 {
+					return false
+				} else {
+					prev = p
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every accumulator's incremental penalty matches the goal's
+// batch penalty over the same outcomes, and PeekAdd agrees with Add.
+func TestAccumulatorMatchesBatchPenalty(t *testing.T) {
+	ts := templates()
+	goals := []Goal{
+		NewMaxLatency(10*time.Minute, ts, 1),
+		NewPerQuery(3, ts, 1),
+		NewAverage(10*time.Minute, ts, 1),
+		NewPercentile(90, 10*time.Minute, ts, 1),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, g := range goals {
+			acc := NewAccumulator(g)
+			var batch []QueryPerf
+			for i := 0; i < 15; i++ {
+				tid := rng.Intn(5)
+				lat := time.Duration(rng.Intn(1800)+1) * time.Second
+				if peek, next := acc.PeekAdd(tid, lat), acc.Add(tid, lat); math.Abs(peek-next.Penalty()) > 1e-9 {
+					return false
+				} else {
+					acc = next
+				}
+				batch = append(batch, QueryPerf{TemplateID: tid, Latency: lat})
+				if math.Abs(acc.Penalty()-g.Penalty(batch)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTightenFormula(t *testing.T) {
+	ts := templates()
+	g := NewMaxLatency(15*time.Minute, ts, 1)
+	// Strictest = longest template latency = 6m; tighten by 1/3 of the
+	// 9m slack: 15 - 3 = 12m (the paper's §7.3 example).
+	got := g.Tighten(1.0 / 3).(MaxLatency)
+	if got.Deadline.Round(time.Second) != 12*time.Minute {
+		t.Fatalf("tighten(1/3): want 12m, got %s", got.Deadline)
+	}
+	// p=1 reaches the strictest value.
+	if full := g.Tighten(1).(MaxLatency); full.Deadline != 6*time.Minute {
+		t.Fatalf("tighten(1): want 6m, got %s", full.Deadline)
+	}
+	// Negative p loosens.
+	if loose := g.Tighten(-1).(MaxLatency); loose.Deadline != 24*time.Minute {
+		t.Fatalf("tighten(-1): want 24m, got %s", loose.Deadline)
+	}
+}
+
+// Property: tightening by a larger p never loosens any goal's penalty.
+func TestTightenMonotoneInP(t *testing.T) {
+	ts := templates()
+	goals := []Goal{
+		NewMaxLatency(15*time.Minute, ts, 1),
+		NewPerQuery(3, ts, 1),
+		NewAverage(10*time.Minute, ts, 1),
+		NewPercentile(90, 10*time.Minute, ts, 1),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var batch []QueryPerf
+		for i := 0; i < 12; i++ {
+			batch = append(batch, QueryPerf{TemplateID: rng.Intn(5), Latency: time.Duration(rng.Intn(1800)+1) * time.Second})
+		}
+		for _, g := range goals {
+			prev := -1.0
+			for _, p := range []float64{-0.5, 0, 0.5, 0.9} {
+				pen := g.Tighten(p).Penalty(batch)
+				if pen < prev-1e-9 {
+					return false
+				}
+				prev = pen
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShift(t *testing.T) {
+	ts := templates()
+	max := NewMaxLatency(10*time.Minute, ts, 1)
+	shifted := max.Shift(2 * time.Minute).(MaxLatency)
+	if shifted.Deadline != 8*time.Minute {
+		t.Fatalf("want 8m, got %s", shifted.Deadline)
+	}
+	// Shifting by the wait equals evaluating waited queries (§6.3): a
+	// query that waited w and then ran with latency L has true latency
+	// w+L; penalty under the original equals penalty of L under shift w.
+	lat := 9 * time.Minute
+	wait := 2 * time.Minute
+	orig := max.Penalty([]QueryPerf{{Latency: lat + wait}})
+	shift := shifted.Penalty([]QueryPerf{{Latency: lat}})
+	if orig != shift {
+		t.Fatalf("shift equivalence: %g != %g", orig, shift)
+	}
+	pq := NewPerQuery(3, ts, 1)
+	pqs := pq.Shift(time.Minute).(PerQuery)
+	for i := range ts {
+		if pqs.Deadlines[i] != pq.Deadlines[i]-time.Minute {
+			t.Fatal("per-template deadlines must shift uniformly")
+		}
+	}
+	if !max.Shiftable() || !pq.Shiftable() {
+		t.Fatal("Max and PerQuery are shiftable (§6.3.1)")
+	}
+	avg := NewAverage(10*time.Minute, ts, 1)
+	pct := NewPercentile(90, 10*time.Minute, ts, 1)
+	if avg.Shiftable() || pct.Shiftable() {
+		t.Fatal("Average and Percentile are not linearly shiftable")
+	}
+}
+
+func TestWithExtraTemplate(t *testing.T) {
+	ts := templates()
+	pq := NewPerQuery(3, ts, 1)
+	aug := pq.WithExtraTemplate(7*time.Minute, 3*time.Minute)
+	if len(aug.Deadlines) != len(ts)+1 {
+		t.Fatalf("want %d deadlines, got %d", len(ts)+1, len(aug.Deadlines))
+	}
+	if aug.Deadline(len(ts)) != 7*time.Minute {
+		t.Fatalf("extra template deadline: got %s", aug.Deadline(len(ts)))
+	}
+	// The original is not mutated.
+	if len(pq.Deadlines) != len(ts) {
+		t.Fatal("WithExtraTemplate must not mutate the receiver")
+	}
+}
+
+func TestMinFinalPenaltyAdmissible(t *testing.T) {
+	ts := templates()
+	goals := []Goal{
+		NewMaxLatency(10*time.Minute, ts, 1),
+		NewPerQuery(3, ts, 1),
+		NewAverage(10*time.Minute, ts, 1),
+		NewPercentile(90, 10*time.Minute, ts, 1),
+	}
+	minLat := ts[0].BaseLatency
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, g := range goals {
+			acc := NewAccumulator(g)
+			n := rng.Intn(10)
+			for i := 0; i < n; i++ {
+				acc = acc.Add(rng.Intn(5), time.Duration(rng.Intn(1800)+1)*time.Second)
+			}
+			remaining := rng.Intn(6)
+			bound := MinFinalPenalty(g, acc, remaining, time.Duration(remaining)*minLat)
+			// Complete with `remaining` cheap queries (the best
+			// case the bound assumes) and check it held.
+			final := acc
+			for i := 0; i < remaining; i++ {
+				final = final.Add(0, minLat)
+			}
+			if bound > final.Penalty()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoalKeysDistinct(t *testing.T) {
+	ts := templates()
+	keys := map[string]bool{}
+	for _, g := range []Goal{
+		NewMaxLatency(10*time.Minute, ts, 1),
+		NewMaxLatency(12*time.Minute, ts, 1),
+		NewPerQuery(3, ts, 1),
+		NewPerQuery(2, ts, 1),
+		NewAverage(10*time.Minute, ts, 1),
+		NewPercentile(90, 10*time.Minute, ts, 1),
+		NewPercentile(95, 10*time.Minute, ts, 1),
+	} {
+		if keys[g.Key()] {
+			t.Fatalf("duplicate key %q", g.Key())
+		}
+		keys[g.Key()] = true
+	}
+}

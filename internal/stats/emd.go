@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// EMD1D computes the Earth Mover's Distance between two one-dimensional
+// distributions given as equal-length sample vectors (each sample carries
+// mass 1/len). For one-dimensional distributions the EMD equals the L1
+// distance between the sorted samples divided by the sample count, which is
+// what strategy recommendation uses to compare per-template average cost
+// profiles of adjacent service tiers (§6.1).
+func EMD1D(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: EMD1D requires equal-length samples")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	total := 0.0
+	for i := range as {
+		total += math.Abs(as[i] - bs[i])
+	}
+	return total / float64(len(as))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of xs using the
+// nearest-rank method: the smallest value v such that at least p% of the
+// samples are <= v. This is the definition the Percentile SLA uses (§2:
+// "at least x% of the workload's queries must be completed within t
+// seconds"). It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p <= 0 || p > 100 {
+		panic("stats: Percentile requires 0 < p <= 100")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,136 @@
+// Package stats provides the small statistical substrate WiSeDB needs:
+// the χ² goodness-of-fit confidence used to quantify workload skew (§7.5),
+// the Earth Mover's Distance used by strategy recommendation (§6.1), and
+// summary helpers used by the experiment harness.
+package stats
+
+import "math"
+
+// RegularizedGammaP computes the regularized lower incomplete gamma
+// function P(a, x) = γ(a, x) / Γ(a) for a > 0, x >= 0. It follows the
+// classic series/continued-fraction split (Numerical Recipes §6.2): the
+// series converges quickly for x < a+1 and the continued fraction for
+// x >= a+1.
+func RegularizedGammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x < 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaPSeries(a, x)
+	default:
+		return 1 - gammaQContinuedFraction(a, x)
+	}
+}
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 500
+)
+
+// gammaPSeries evaluates P(a,x) by its power series representation.
+func gammaPSeries(a, x float64) float64 {
+	lgA, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lgA)
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) = 1 - P(a,x) by its continued
+// fraction representation using Lentz's algorithm.
+func gammaQContinuedFraction(a, x float64) float64 {
+	lgA, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lgA) * h
+}
+
+// ChiSquareCDF returns the cumulative distribution function of the χ²
+// distribution with df degrees of freedom evaluated at x: the probability
+// that a χ² random variable is at most x. In the skew experiments this is
+// "the confidence with which the uniformity hypothesis can be rejected"
+// (§7.5).
+func ChiSquareCDF(x float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 0
+	}
+	return RegularizedGammaP(float64(df)/2, x/2)
+}
+
+// ChiSquareStatistic computes Pearson's χ² test statistic for observed
+// category counts against expected counts. Categories with zero expectation
+// and zero observation contribute nothing; a zero expectation with a
+// non-zero observation yields +Inf.
+func ChiSquareStatistic(observed []int, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		panic("stats: observed/expected length mismatch")
+	}
+	stat := 0.0
+	for i, o := range observed {
+		e := expected[i]
+		d := float64(o) - e
+		if e == 0 {
+			if o != 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		stat += d * d / e
+	}
+	return stat
+}
+
+// UniformChiSquareConfidence returns the confidence in [0,1] with which the
+// hypothesis "counts were drawn uniformly" can be rejected — the skew
+// measure on the x axis of Figs. 20 and 21.
+func UniformChiSquareConfidence(counts []int) float64 {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 || len(counts) < 2 {
+		return 0
+	}
+	expected := make([]float64, len(counts))
+	for i := range expected {
+		expected[i] = float64(n) / float64(len(counts))
+	}
+	stat := ChiSquareStatistic(counts, expected)
+	return ChiSquareCDF(stat, len(counts)-1)
+}

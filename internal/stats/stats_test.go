@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	cases := []struct {
+		a, x, want float64
+	}{
+		// P(1, x) = 1 - e^-x.
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 2.5, 1 - math.Exp(-2.5)},
+		// P(0.5, x) = erf(sqrt(x)).
+		{0.5, 0.25, math.Erf(0.5)},
+		{0.5, 4, math.Erf(2)},
+		// Median of gamma(a,1) near a - 1/3 for larger a.
+		{10, 10, 0.5420702855},
+	}
+	for _, c := range cases {
+		got := RegularizedGammaP(c.a, c.x)
+		if math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("P(%g,%g) = %.10f, want %.10f", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedGammaPEdges(t *testing.T) {
+	if got := RegularizedGammaP(2, 0); got != 0 {
+		t.Fatalf("P(a,0) = %g, want 0", got)
+	}
+	if !math.IsNaN(RegularizedGammaP(-1, 1)) || !math.IsNaN(RegularizedGammaP(1, -1)) {
+		t.Fatal("invalid arguments must yield NaN")
+	}
+	// Monotone increasing in x.
+	prev := 0.0
+	for x := 0.1; x < 30; x += 0.5 {
+		got := RegularizedGammaP(3, x)
+		if got < prev {
+			t.Fatalf("P(3,x) not monotone at %g", x)
+		}
+		prev = got
+	}
+	if prev < 0.999999 {
+		t.Fatalf("P(3,30) should approach 1, got %g", prev)
+	}
+}
+
+func TestChiSquareCDFAgainstKnownQuantiles(t *testing.T) {
+	// 95th percentile of chi2 with k df (standard tables).
+	cases := []struct {
+		df int
+		q  float64
+	}{{1, 3.841}, {5, 11.070}, {9, 16.919}, {10, 18.307}}
+	for _, c := range cases {
+		got := ChiSquareCDF(c.q, c.df)
+		if math.Abs(got-0.95) > 0.001 {
+			t.Errorf("CDF(%g, df=%d) = %g, want 0.95", c.q, c.df, got)
+		}
+	}
+}
+
+func TestChiSquareStatistic(t *testing.T) {
+	obs := []int{10, 10, 10}
+	exp := []float64{10, 10, 10}
+	if got := ChiSquareStatistic(obs, exp); got != 0 {
+		t.Fatalf("perfect fit should be 0, got %g", got)
+	}
+	if got := ChiSquareStatistic([]int{5}, []float64{0}); !math.IsInf(got, 1) {
+		t.Fatalf("zero expectation with observations should be +Inf, got %g", got)
+	}
+}
+
+func TestUniformChiSquareConfidence(t *testing.T) {
+	if got := UniformChiSquareConfidence([]int{100, 100, 100, 100}); got > 0.05 {
+		t.Fatalf("uniform counts should have ~0 confidence, got %g", got)
+	}
+	if got := UniformChiSquareConfidence([]int{400, 0, 0, 0}); got < 0.999 {
+		t.Fatalf("point mass should have ~1 confidence, got %g", got)
+	}
+	// Confidence grows with skew.
+	rng := rand.New(rand.NewSource(1))
+	prev := -1.0
+	for _, skew := range []float64{0, 0.3, 0.6, 0.9} {
+		counts := make([]int, 5)
+		for i := 0; i < 2000; i++ {
+			if rng.Float64() < skew {
+				counts[0]++
+			} else {
+				counts[rng.Intn(5)]++
+			}
+		}
+		got := UniformChiSquareConfidence(counts)
+		if got < prev-0.01 {
+			t.Fatalf("confidence not increasing with skew: %g after %g", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEMD1D(t *testing.T) {
+	if got := EMD1D([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("identical distributions: want 0, got %g", got)
+	}
+	if got := EMD1D([]float64{0, 0}, []float64{1, 1}); got != 1 {
+		t.Fatalf("unit shift: want 1, got %g", got)
+	}
+	// Order-independence.
+	if EMD1D([]float64{3, 1, 2}, []float64{2, 3, 1}) != 0 {
+		t.Fatal("EMD must be order-independent")
+	}
+}
+
+func TestEMD1DProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = rng.Float64()*10, rng.Float64()*10, rng.Float64()*10
+		}
+		dab := EMD1D(a, b)
+		dba := EMD1D(b, a)
+		if math.Abs(dab-dba) > 1e-12 {
+			return false // symmetry
+		}
+		if dab < 0 {
+			return false // non-negativity
+		}
+		// Triangle inequality.
+		if EMD1D(a, c) > dab+EMD1D(b, c)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 90); got != 9 {
+		t.Fatalf("P90 of 1..10: want 9 (nearest rank), got %g", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Fatalf("P100: want 10, got %g", got)
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Fatalf("single sample: want 7, got %g", got)
+	}
+}
+
+func TestMeanStdDevMinMax(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean: want 5, got %g", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev: want 2, got %g", got)
+	}
+	min, max := MinMax(xs)
+	if min != 2 || max != 9 {
+		t.Fatalf("minmax: want 2,9 got %g,%g", min, max)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty slices should yield 0")
+	}
+}

@@ -1,0 +1,120 @@
+// Package workload defines query templates, queries, and workloads, and
+// provides the workload sampling machinery WiSeDB trains on (§2, §4.2 of the
+// paper), including skewed-workload generation controlled by a χ² statistic
+// (§7.5).
+//
+// WiSeDB is agnostic to the SQL text of a template: a template is identified
+// with its latency profile across VM types ("queries with identical latency
+// can be treated as instances of the same template", §2). Templates here
+// therefore carry a name, a base latency, and an optional resource footprint
+// used by the cloud substrate to derive per-VM-type latencies.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Template is a query template (§2): a parameterized query whose instances
+// share a latency profile. BaseLatency is the latency on the reference VM
+// type (the paper's t2.medium). HighRAM marks templates whose working set
+// does not fit in a small instance's memory; the cloud substrate slows these
+// down on cheaper VM types (§7.2, "Multiple VM Types").
+type Template struct {
+	// ID is the index of the template within its template set. IDs are
+	// dense: a template set with k templates uses IDs 0..k-1.
+	ID int
+	// Name is a human-readable label, e.g. "TPC-H Q6".
+	Name string
+	// BaseLatency is the execution latency of instances of this template
+	// on the reference VM type, when executed in isolation.
+	BaseLatency time.Duration
+	// HighRAM indicates the template needs a large-memory VM to run at
+	// full speed.
+	HighRAM bool
+}
+
+// String implements fmt.Stringer.
+func (t Template) String() string {
+	return fmt.Sprintf("%s(id=%d,lat=%s)", t.Name, t.ID, t.BaseLatency)
+}
+
+// Query is an instance of a template (§2). The Tag distinguishes instances
+// of the same template within a workload; it has no semantic meaning.
+type Query struct {
+	// TemplateID is the ID of the template this query instantiates.
+	TemplateID int
+	// Tag is a per-workload unique identifier for the query instance.
+	Tag int
+	// Arrival is the submission time of the query relative to the start
+	// of the workload. It is zero for batch workloads and set by the
+	// arrival process for online workloads (§6.3).
+	Arrival time.Duration
+}
+
+// Workload is a multiset of queries drawn from a template set (§3,
+// Q = {q1^x, q2^y, ...}).
+type Workload struct {
+	// Templates is the template set T the queries are drawn from.
+	Templates []Template
+	// Queries are the instances to schedule.
+	Queries []Query
+}
+
+// Counts returns the number of queries of each template, indexed by
+// template ID.
+func (w *Workload) Counts() []int {
+	counts := make([]int, len(w.Templates))
+	for _, q := range w.Queries {
+		counts[q.TemplateID]++
+	}
+	return counts
+}
+
+// Size returns the number of queries in the workload.
+func (w *Workload) Size() int { return len(w.Queries) }
+
+// Validate checks that every query references a template in the set and
+// that template IDs are dense and self-consistent.
+func (w *Workload) Validate() error {
+	for i, t := range w.Templates {
+		if t.ID != i {
+			return fmt.Errorf("workload: template %q has ID %d but is at index %d", t.Name, t.ID, i)
+		}
+		if t.BaseLatency <= 0 {
+			return fmt.Errorf("workload: template %q has non-positive latency %s", t.Name, t.BaseLatency)
+		}
+	}
+	for _, q := range w.Queries {
+		if q.TemplateID < 0 || q.TemplateID >= len(w.Templates) {
+			return fmt.Errorf("workload: query tag %d references unknown template %d", q.Tag, q.TemplateID)
+		}
+	}
+	return nil
+}
+
+// DefaultTemplates returns a template set emulating the paper's experimental
+// workload (§7.1): TPC-H templates 1-10 with latencies evenly spaced between
+// 2 and 6 minutes (mean 4 minutes). The first half are low-RAM templates
+// that run at full speed on small instances (§7.2).
+func DefaultTemplates(n int) []Template {
+	if n <= 0 {
+		panic("workload: DefaultTemplates requires n > 0")
+	}
+	ts := make([]Template, n)
+	lo, hi := 2*time.Minute, 6*time.Minute
+	for i := range ts {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		lat := lo + time.Duration(frac*float64(hi-lo))
+		ts[i] = Template{
+			ID:          i,
+			Name:        fmt.Sprintf("TPC-H Q%d", i+1),
+			BaseLatency: lat.Round(time.Second),
+			HighRAM:     i >= (n+1)/2,
+		}
+	}
+	return ts
+}

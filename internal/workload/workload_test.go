@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultTemplates(t *testing.T) {
+	ts := DefaultTemplates(10)
+	if len(ts) != 10 {
+		t.Fatalf("want 10 templates, got %d", len(ts))
+	}
+	if ts[0].BaseLatency != 2*time.Minute || ts[9].BaseLatency != 6*time.Minute {
+		t.Fatalf("latency range should span 2-6 minutes, got %s..%s", ts[0].BaseLatency, ts[9].BaseLatency)
+	}
+	var sum time.Duration
+	for i, tpl := range ts {
+		if tpl.ID != i {
+			t.Fatalf("template %d has ID %d", i, tpl.ID)
+		}
+		if i > 0 && tpl.BaseLatency <= ts[i-1].BaseLatency {
+			t.Fatal("latencies must increase")
+		}
+		sum += tpl.BaseLatency
+	}
+	if mean := sum / 10; mean != 4*time.Minute {
+		t.Fatalf("mean latency should be 4 minutes (§7.1), got %s", mean)
+	}
+	low := 0
+	for _, tpl := range ts {
+		if !tpl.HighRAM {
+			low++
+		}
+	}
+	if low != 5 {
+		t.Fatalf("want 5 low-RAM templates, got %d", low)
+	}
+}
+
+func TestDefaultTemplatesSingle(t *testing.T) {
+	ts := DefaultTemplates(1)
+	if len(ts) != 1 || ts[0].BaseLatency != 2*time.Minute {
+		t.Fatalf("unexpected single-template set: %v", ts)
+	}
+}
+
+func TestUniformSampling(t *testing.T) {
+	ts := DefaultTemplates(4)
+	s := NewSampler(ts, 42)
+	counts := make([]int, 4)
+	const n = 40000
+	w := s.Uniform(n)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		counts[q.TemplateID]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.23 || frac > 0.27 {
+			t.Fatalf("template %d frequency %f, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	ts := DefaultTemplates(5)
+	a := NewSampler(ts, 7).Uniform(100)
+	b := NewSampler(ts, 7).Uniform(100)
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatal("same seed must give same workload")
+		}
+	}
+}
+
+func TestWeightedSampling(t *testing.T) {
+	ts := DefaultTemplates(3)
+	s := NewSampler(ts, 5)
+	w := s.Weighted(10000, []float64{0, 0, 1})
+	for _, q := range w.Queries {
+		if q.TemplateID != 2 {
+			t.Fatalf("zero-weight template %d sampled", q.TemplateID)
+		}
+	}
+}
+
+func TestSkewWeights(t *testing.T) {
+	uniform := SkewWeights(4, 0, 0)
+	for _, w := range uniform {
+		if w != 0.25 {
+			t.Fatalf("skew=0 must be uniform, got %v", uniform)
+		}
+	}
+	point := SkewWeights(4, 1, 2)
+	if point[2] != 1 {
+		t.Fatalf("skew=1 must be a point mass, got %v", point)
+	}
+	// Property: weights always sum to 1 and are non-negative.
+	f := func(skewRaw uint8, favRaw uint8) bool {
+		skew := float64(skewRaw) / 255
+		fav := int(favRaw) % 4
+		ws := SkewWeights(4, skew, fav)
+		sum := 0.0
+		for _, w := range ws {
+			if w < 0 {
+				return false
+			}
+			sum += w
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	ts := DefaultTemplates(3)
+	w := &Workload{Templates: ts, Queries: []Query{
+		{TemplateID: 0}, {TemplateID: 2}, {TemplateID: 2},
+	}}
+	c := w.Counts()
+	if c[0] != 1 || c[1] != 0 || c[2] != 2 {
+		t.Fatalf("bad counts %v", c)
+	}
+}
+
+func TestValidateRejectsBadTemplates(t *testing.T) {
+	ts := DefaultTemplates(2)
+	w := &Workload{Templates: ts, Queries: []Query{{TemplateID: 5}}}
+	if err := w.Validate(); err == nil {
+		t.Fatal("want error for out-of-range template")
+	}
+	bad := &Workload{Templates: []Template{{ID: 1, Name: "x", BaseLatency: time.Minute}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for non-dense template IDs")
+	}
+}
+
+func TestWithArrivalsSorts(t *testing.T) {
+	ts := DefaultTemplates(2)
+	w := &Workload{Templates: ts, Queries: []Query{
+		{TemplateID: 0, Tag: 0}, {TemplateID: 1, Tag: 1}, {TemplateID: 0, Tag: 2},
+	}}
+	out := w.WithArrivals([]time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second})
+	for i := 1; i < len(out.Queries); i++ {
+		if out.Queries[i].Arrival < out.Queries[i-1].Arrival {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	if out.Queries[0].Tag != 1 {
+		t.Fatalf("earliest arrival should be tag 1, got %d", out.Queries[0].Tag)
+	}
+	// Original untouched.
+	if w.Queries[0].Arrival != 0 {
+		t.Fatal("WithArrivals must not mutate the receiver")
+	}
+}
+
+func TestFixedDelayArrivals(t *testing.T) {
+	a := FixedDelayArrivals(4, time.Second)
+	want := []time.Duration{0, time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("at %d: want %s, got %s", i, want[i], a[i])
+		}
+	}
+}
+
+func TestNormalArrivalsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NormalArrivals(100, 250*time.Millisecond, 125*time.Millisecond, rng)
+	if a[0] != 0 {
+		t.Fatal("first arrival must be 0")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+	}
+}

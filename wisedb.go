@@ -1,0 +1,162 @@
+// Package wisedb is a workload management advisor for cloud databases — a
+// from-scratch Go reproduction of "WiSeDB: A Learning-based Workload
+// Management Advisor for Cloud Databases" (Marcus & Papaemmanouil,
+// VLDB 2016).
+//
+// Given an application's query templates and a latency-based performance
+// goal (an SLA), WiSeDB learns a decision-tree strategy from provably
+// optimal schedules of small sample workloads. The strategy drives holistic
+// workload management: how many VMs to rent (and of which type), which VM
+// each query runs on, and the execution order within each VM — minimizing
+// start-up fees plus processing fees plus SLA penalties.
+//
+// # Quickstart
+//
+//	templates := wisedb.DefaultTemplates(10)           // TPC-H-like, 2-6 min
+//	vmTypes := wisedb.DefaultVMTypes(1)                // t2.medium pricing
+//	env := wisedb.NewEnv(templates, vmTypes)
+//	goal := wisedb.NewMaxLatency(15*time.Minute, templates, wisedb.DefaultPenaltyRate)
+//
+//	advisor := wisedb.NewAdvisor(env, wisedb.DefaultTrainConfig())
+//	model, err := advisor.Train(goal)                  // offline, once
+//	...
+//	sched, err := model.ScheduleBatch(workload)        // runtime, any size
+//	cost := sched.Cost(env, goal)                      // cents
+//
+// Models support adaptive re-training for stricter goals (Model.Adapt),
+// exploration of performance/cost trade-offs (Advisor.Recommend), and
+// non-preemptive online scheduling (NewOnlineScheduler).
+//
+// The facade re-exports the library's internal packages; see DESIGN.md for
+// the architecture and EXPERIMENTS.md for the paper-reproduction results.
+package wisedb
+
+import (
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/core"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+// Core advisor types.
+type (
+	// Advisor generates workload-management models for one environment.
+	Advisor = core.Advisor
+	// Model is a trained workload-management strategy.
+	Model = core.Model
+	// TrainConfig tunes model generation (N samples of m queries).
+	TrainConfig = core.TrainConfig
+	// Strategy is a recommended service tier with a cost estimator.
+	Strategy = core.Strategy
+	// RecommendConfig tunes strategy recommendation.
+	RecommendConfig = core.RecommendConfig
+	// OnlineScheduler schedules queries arriving one at a time.
+	OnlineScheduler = core.OnlineScheduler
+	// OnlineOptions tunes online scheduling and its optimizations.
+	OnlineOptions = core.OnlineOptions
+	// OnlineResult reports the outcome of an online run.
+	OnlineResult = core.OnlineResult
+)
+
+// Workload model types.
+type (
+	// Template is a query template: instances share a latency profile.
+	Template = workload.Template
+	// Query is an instance of a template.
+	Query = workload.Query
+	// Workload is a multiset of queries to schedule.
+	Workload = workload.Workload
+	// Sampler draws random workloads from a template set.
+	Sampler = workload.Sampler
+)
+
+// Cloud substrate types.
+type (
+	// VMType is a rentable VM configuration with its prices.
+	VMType = cloud.VMType
+	// Predictor estimates per-template latencies per VM type.
+	Predictor = cloud.Predictor
+)
+
+// Scheduling types.
+type (
+	// Env bundles templates, VM types, and the latency predictor.
+	Env = schedule.Env
+	// Schedule assigns queries to ordered VM queues.
+	Schedule = schedule.Schedule
+	// VM is one rented machine inside a schedule.
+	VM = schedule.VM
+)
+
+// Performance goals (SLAs).
+type (
+	// Goal is a performance goal with its penalty function.
+	Goal = sla.Goal
+	// MaxLatency bounds the worst query latency in a workload.
+	MaxLatency = sla.MaxLatency
+	// PerQuery bounds each template's query latency separately.
+	PerQuery = sla.PerQuery
+	// Average bounds the mean query latency of a workload.
+	Average = sla.Average
+	// Percentile requires y% of queries to finish within a deadline.
+	Percentile = sla.Percentile
+	// QueryPerf is a per-query outcome goals are evaluated against.
+	QueryPerf = sla.QueryPerf
+)
+
+// DefaultPenaltyRate is the paper's penalty rate: 1 cent per second of
+// violation.
+const DefaultPenaltyRate = sla.DefaultPenaltyRate
+
+// Constructors re-exported from the internal packages.
+var (
+	// NewAdvisor returns an Advisor for an environment.
+	NewAdvisor = core.NewAdvisor
+	// DefaultTrainConfig is the experiment-scale training configuration.
+	DefaultTrainConfig = core.DefaultTrainConfig
+	// PaperTrainConfig is the paper's §7.1 scale (N=3000, m=18).
+	PaperTrainConfig = core.PaperTrainConfig
+	// DefaultRecommendConfig tunes Recommend like the paper's tiers.
+	DefaultRecommendConfig = core.DefaultRecommendConfig
+	// NewOnlineScheduler wraps a model for online arrivals.
+	NewOnlineScheduler = core.NewOnlineScheduler
+	// DefaultOnlineOptions enables both §6.3.1 optimizations.
+	DefaultOnlineOptions = core.DefaultOnlineOptions
+
+	// DefaultTemplates synthesizes the paper's TPC-H-like template set.
+	DefaultTemplates = workload.DefaultTemplates
+	// NewSampler returns a deterministic workload sampler.
+	NewSampler = workload.NewSampler
+
+	// DefaultVMTypes returns EC2-like VM types (t2.medium, t2.small, ...).
+	DefaultVMTypes = cloud.DefaultVMTypes
+
+	// NewEnv builds an Env with the exact latency predictor.
+	NewEnv = schedule.NewEnv
+)
+
+// NewMaxLatency builds a Max goal: no query may exceed deadline.
+func NewMaxLatency(deadline time.Duration, templates []Template, rate float64) MaxLatency {
+	return sla.NewMaxLatency(deadline, templates, rate)
+}
+
+// NewPerQuery builds a PerQuery goal: queries of each template must finish
+// within multiplier × the template's latency.
+func NewPerQuery(multiplier float64, templates []Template, rate float64) PerQuery {
+	return sla.NewPerQuery(multiplier, templates, rate)
+}
+
+// NewAverage builds an Average goal: the workload's mean latency must not
+// exceed deadline.
+func NewAverage(deadline time.Duration, templates []Template, rate float64) Average {
+	return sla.NewAverage(deadline, templates, rate)
+}
+
+// NewPercentile builds a Percentile goal: percent% of queries must finish
+// within deadline.
+func NewPercentile(percent float64, deadline time.Duration, templates []Template, rate float64) Percentile {
+	return sla.NewPercentile(percent, deadline, templates, rate)
+}
