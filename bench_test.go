@@ -9,9 +9,13 @@
 package wisedb_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
+	"wisedb"
 	"wisedb/internal/experiments"
 )
 
@@ -104,4 +108,36 @@ func BenchmarkFig21(b *testing.B) {
 // error.
 func BenchmarkFig22(b *testing.B) {
 	benchFig(b, (*experiments.Config).Fig22)
+}
+
+// BenchmarkTrainParallel measures offline model generation (§4.2: N
+// independent exact searches) sequentially and on the worker pool. The two
+// runs produce bit-identical models — per-sample sub-seeds decouple sample i
+// from the workers that drew samples 0..i-1 — so the workers=GOMAXPROCS run
+// tracks the pure scheduling speedup in the perf trajectory (expect ~linear
+// scaling on multi-core machines; the fold into the decision tree is the
+// only sequential tail).
+func BenchmarkTrainParallel(b *testing.B) {
+	templates := wisedb.DefaultTemplates(8)
+	env := wisedb.NewEnv(templates, wisedb.DefaultVMTypes(2))
+	goal := wisedb.NewMaxLatency(15*time.Minute, templates, wisedb.DefaultPenaltyRate)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := wisedb.DefaultTrainConfig()
+			cfg.NumSamples = 300
+			cfg.SampleSize = 10
+			cfg.Parallelism = workers
+			cfg.KeepTrainingData = false
+			advisor, err := wisedb.NewAdvisor(env, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := advisor.Train(goal); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -24,6 +24,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload and training scale")
 	seed := flag.Int64("seed", 1, "random seed for all samplers")
+	parallelism := flag.Int("parallelism", 0, "training worker goroutines (0 = all cores); models are identical for every value")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -32,6 +33,7 @@ func main() {
 		cfg = experiments.QuickConfig(os.Stdout)
 	}
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallelism
 
 	figs := map[string]func() error{
 		"fig9":  wrap(cfg.Fig9),
@@ -94,7 +96,7 @@ func figNum(name string) int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] all | figN [figM ...]
+	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-parallelism P] all | figN [figM ...]
 
 Regenerates the evaluation figures of the WiSeDB paper (VLDB 2016, §7):
   fig9   optimality across performance metrics      fig16  adaptive re-training time

@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	tiers := flag.Int("k", 3, "service tiers for recommend")
 	delay := flag.Duration("delay", 10*time.Second, "inter-arrival delay for online")
+	parallelism := flag.Int("parallelism", 0, "training worker goroutines (0 = all cores)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -53,7 +54,11 @@ func main() {
 	cfg.NumSamples = *samples
 	cfg.SampleSize = *sampleSize
 	cfg.Seed = *seed
-	advisor := wisedb.NewAdvisor(env, cfg)
+	cfg.Parallelism = *parallelism
+	advisor, err := wisedb.NewAdvisor(env, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	switch flag.Arg(0) {
 	case "train":

@@ -29,7 +29,7 @@ func main() {
 
 	for _, numTypes := range []int{1, 2} {
 		env := wisedb.NewEnv(templates, wisedb.DefaultVMTypes(numTypes))
-		advisor := wisedb.NewAdvisor(env, cfg)
+		advisor := wisedb.MustNewAdvisor(env, cfg)
 		model, err := advisor.Train(goal)
 		if err != nil {
 			log.Fatal(err)

@@ -26,7 +26,7 @@ func main() {
 	cfg := wisedb.DefaultTrainConfig()
 	cfg.NumSamples = 200
 	cfg.SampleSize = 10
-	advisor := wisedb.NewAdvisor(env, cfg)
+	advisor := wisedb.MustNewAdvisor(env, cfg)
 
 	fmt.Println("training base model...")
 	base, err := advisor.Train(goal)

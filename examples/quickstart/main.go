@@ -33,7 +33,7 @@ func main() {
 	cfg := wisedb.DefaultTrainConfig()
 	cfg.NumSamples = 250
 	cfg.SampleSize = 10
-	advisor := wisedb.NewAdvisor(env, cfg)
+	advisor := wisedb.MustNewAdvisor(env, cfg)
 
 	fmt.Println("training decision model...")
 	model, err := advisor.Train(goal)

@@ -26,7 +26,7 @@ func main() {
 	cfg := wisedb.DefaultTrainConfig()
 	cfg.NumSamples = 200
 	cfg.SampleSize = 10
-	advisor := wisedb.NewAdvisor(env, cfg)
+	advisor := wisedb.MustNewAdvisor(env, cfg)
 
 	rec := wisedb.DefaultRecommendConfig()
 	rec.K = 3

@@ -16,7 +16,10 @@ func TestFacadeQuickstart(t *testing.T) {
 	cfg := wisedb.DefaultTrainConfig()
 	cfg.NumSamples = 60
 	cfg.SampleSize = 6
-	advisor := wisedb.NewAdvisor(env, cfg)
+	advisor, err := wisedb.NewAdvisor(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	model, err := advisor.Train(goal)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,3 @@
+module wisedb
+
+go 1.24

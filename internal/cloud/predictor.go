@@ -13,7 +13,9 @@ import (
 // experiments (Fig. 22) inject Gaussian error between the two.
 type Predictor interface {
 	// Latency returns the predicted latency of an instance of template t
-	// on VM type v. ok is false if v cannot run t.
+	// on VM type v. ok is false if v cannot run t. Predictions are
+	// expected to be positive; the scheduling environment clamps
+	// non-positive predictions to 1ns when freezing its latency matrix.
 	Latency(t workload.Template, v VMType) (lat time.Duration, ok bool)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,20 +17,29 @@ import (
 // retained sample workloads on the same scheduling graphs with updated edge
 // weights, using the adaptive-A* heuristic h'(v) = max(h(v), C* − g_old(v))
 // built from each sample's previous search (Lemma 5.1 proves h' admissible
-// when the new goal is stricter). The model must have been trained with
-// KeepTrainingData.
+// when the new goal is stricter and the goal is monotonic; for Average and
+// Percentile goals the search ignores the reuse information and re-solves
+// exactly, so adaptation stays correct but gains no heuristic speedup). The
+// model must have been trained with KeepTrainingData. The re-searches run
+// on the same worker pool as Train (TrainingConfig.Parallelism) and the
+// result is identical for any worker count.
 //
 // The returned model itself retains training data, so a chain of
 // progressively stricter goals — as built by strategy recommendation — can
 // adapt step by step.
 func (m *Model) Adapt(goal sla.Goal) (*Model, error) {
-	return m.adapt(goal, true)
+	return m.AdaptContext(context.Background(), goal)
+}
+
+// AdaptContext is Adapt with cancellation.
+func (m *Model) AdaptContext(ctx context.Context, goal sla.Goal) (*Model, error) {
+	return m.adapt(ctx, goal, true)
 }
 
 // adapt implements Adapt; keep controls whether the new model retains its
 // own training data (needed to adapt it further, skipped by one-shot
 // shifts).
-func (m *Model) adapt(goal sla.Goal, keep bool) (*Model, error) {
+func (m *Model) adapt(ctx context.Context, goal sla.Goal, keep bool) (*Model, error) {
 	if len(m.samples) == 0 {
 		return nil, fmt.Errorf("core: Adapt requires a model trained with KeepTrainingData")
 	}
@@ -40,17 +50,28 @@ func (m *Model) adapt(goal sla.Goal, keep bool) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: adapt: %w", err)
 	}
+
+	solutions := make([]*search.Result, len(m.samples))
+	err = forEach(ctx, m.TrainingConfig.Parallelism, len(m.samples), func(i int) error {
+		s := m.samples[i]
+		res, err := searcher.Solve(s.w, search.Options{Reuse: s.reuse, KeepClosed: keep})
+		if err != nil {
+			return fmt.Errorf("core: adapt sample %d: %w", i, err)
+		}
+		solutions[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	numLabels := len(m.env.Templates) + len(m.env.VMTypes)
 	ds := &dt.Dataset{FeatureNames: features.Names(len(m.env.Templates)), NumLabels: numLabels}
 	var samples []trainSample
-	for i, s := range m.samples {
-		res, err := searcher.Solve(s.w, search.Options{Reuse: s.reuse, KeepClosed: keep})
-		if err != nil {
-			return nil, fmt.Errorf("core: adapt sample %d: %w", i, err)
-		}
+	for i, res := range solutions {
 		addPathToDataset(ds, prob, res.Path)
 		if keep {
-			samples = append(samples, trainSample{w: s.w, reuse: search.ReuseFrom(res)})
+			samples = append(samples, trainSample{w: m.samples[i].w, reuse: search.ReuseFrom(res)})
 		}
 	}
 	tree := dt.Train(ds, m.TrainingConfig.Tree)
@@ -86,5 +107,5 @@ func (m *Model) ShiftedModel(d time.Duration) (*Model, error) {
 	if d == 0 {
 		return m, nil
 	}
-	return m.adapt(m.Goal.Shift(d), false)
+	return m.adapt(context.Background(), m.Goal.Shift(d), false)
 }

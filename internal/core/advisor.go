@@ -2,9 +2,17 @@
 // generation (§4), adaptive modeling (§5), strategy recommendation (§6.1),
 // batch scheduling (§6.2), and online scheduling with the model-reuse and
 // linear-shifting optimizations (§6.3).
+//
+// Model generation solves N independent sample workloads exactly; the
+// advisor runs those searches on a worker pool (TrainConfig.Parallelism)
+// with one deterministic sub-seed per sample, so a trained model is
+// bit-identical for any worker count. A trained Model is immutable and safe
+// for concurrent use: many goroutines may call ScheduleBatch on one Model.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -22,13 +30,21 @@ import (
 type TrainConfig struct {
 	// NumSamples is N, the number of random sample workloads. The paper
 	// uses 3000; a few hundred suffice for the relative results and are
-	// the default here (see DESIGN.md's scaling note).
+	// the default here (see DESIGN.md's scaling note). Zero selects the
+	// default.
 	NumSamples int
 	// SampleSize is m, the queries per sample workload. The paper uses
-	// 18. It must stay small enough for exact search to be fast.
+	// 18. It must stay small enough for exact search to be fast. Zero
+	// selects the default.
 	SampleSize int
-	// Seed makes sampling deterministic.
+	// Seed makes sampling deterministic: sample i is drawn from a
+	// sub-seed derived from (Seed, i), so the same Seed yields the same
+	// model at every Parallelism.
 	Seed int64
+	// Parallelism is the number of worker goroutines solving sample
+	// workloads concurrently; 0 selects runtime.GOMAXPROCS(0). Results
+	// are identical for every value.
+	Parallelism int
 	// Tree configures the decision-tree learner.
 	Tree dt.Config
 	// MaxExpansions bounds per-sample search effort (0 = unlimited).
@@ -36,6 +52,36 @@ type TrainConfig struct {
 	// KeepTrainingData retains each sample's workload and search data on
 	// the model so that adaptive modeling (§5) can re-train cheaply.
 	KeepTrainingData bool
+}
+
+// normalized returns the config with zero values replaced by defaults.
+func (cfg TrainConfig) normalized() TrainConfig {
+	def := DefaultTrainConfig()
+	if cfg.NumSamples == 0 {
+		cfg.NumSamples = def.NumSamples
+	}
+	if cfg.SampleSize == 0 {
+		cfg.SampleSize = def.SampleSize
+	}
+	if cfg.Tree == (dt.Config{}) {
+		cfg.Tree = def.Tree
+	}
+	return cfg
+}
+
+// validate reports the first problem that would make training misbehave.
+func (cfg TrainConfig) validate() error {
+	switch {
+	case cfg.NumSamples < 0:
+		return fmt.Errorf("core: TrainConfig.NumSamples must be positive, got %d", cfg.NumSamples)
+	case cfg.SampleSize < 0:
+		return fmt.Errorf("core: TrainConfig.SampleSize must be positive, got %d", cfg.SampleSize)
+	case cfg.Parallelism < 0:
+		return fmt.Errorf("core: TrainConfig.Parallelism must be >= 0, got %d", cfg.Parallelism)
+	case cfg.MaxExpansions < 0:
+		return fmt.Errorf("core: TrainConfig.MaxExpansions must be >= 0, got %d", cfg.MaxExpansions)
+	}
+	return nil
 }
 
 // DefaultTrainConfig returns the configuration used by the experiments.
@@ -58,24 +104,48 @@ func PaperTrainConfig() TrainConfig {
 }
 
 // Advisor generates workload-management models for one application
-// environment (template set + VM types + latency predictor).
+// environment (template set + VM types + latency predictor). An Advisor is
+// safe for concurrent use.
 type Advisor struct {
 	env *schedule.Env
 	cfg TrainConfig
 }
 
-// NewAdvisor returns an Advisor for the environment.
-func NewAdvisor(env *schedule.Env, cfg TrainConfig) *Advisor {
-	if cfg.NumSamples <= 0 || cfg.SampleSize <= 0 {
-		panic("core: TrainConfig requires positive NumSamples and SampleSize")
+// NewAdvisor returns an Advisor for the environment. Zero-valued fields of
+// cfg are filled with defaults (a zero-value TrainConfig trains at the
+// default scale); invalid values — negative counts, a nil or empty
+// environment — are reported as an error rather than a panic.
+func NewAdvisor(env *schedule.Env, cfg TrainConfig) (*Advisor, error) {
+	if env == nil {
+		return nil, errors.New("core: NewAdvisor requires a non-nil environment")
 	}
-	return &Advisor{env: env, cfg: cfg}
+	if len(env.Templates) == 0 {
+		return nil, errors.New("core: NewAdvisor requires at least one template")
+	}
+	if len(env.VMTypes) == 0 {
+		return nil, errors.New("core: NewAdvisor requires at least one VM type")
+	}
+	cfg = cfg.normalized()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Advisor{env: env, cfg: cfg}, nil
+}
+
+// MustNewAdvisor is NewAdvisor panicking on error, for examples and tests
+// with statically known-good configuration.
+func MustNewAdvisor(env *schedule.Env, cfg TrainConfig) *Advisor {
+	a, err := NewAdvisor(env, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // Env returns the advisor's environment.
 func (a *Advisor) Env() *schedule.Env { return a.env }
 
-// Config returns the advisor's training configuration.
+// Config returns the advisor's training configuration (normalized).
 func (a *Advisor) Config() TrainConfig { return a.cfg }
 
 // trainSample retains one sample workload and its search byproducts for
@@ -88,6 +158,10 @@ type trainSample struct {
 // Model is a trained workload-management strategy (§4.5): a decision tree
 // over the §4.4 features whose leaves are scheduling actions. A model is
 // bound to the goal and environment it was trained for.
+//
+// A Model is immutable after training and safe for concurrent use:
+// ScheduleBatch, Adapt, and the read accessors may be called from many
+// goroutines at once.
 type Model struct {
 	// Goal is the performance goal the model was trained for.
 	Goal sla.Goal
@@ -113,8 +187,22 @@ func (m *Model) Env() *schedule.Env { return m.env }
 // Train generates a decision model for the goal (§4): it samples N random
 // workloads of m queries, solves each exactly on the scheduling graph,
 // extracts the §4.4 features from every decision on every optimal path, and
-// fits a decision tree.
+// fits a decision tree. The N searches run on the configured worker pool.
 func (a *Advisor) Train(goal sla.Goal) (*Model, error) {
+	return a.TrainContext(context.Background(), goal)
+}
+
+// sampleSolution is one worker's output: the sample workload and its
+// exactly solved search result, buffered per index so the fold into the
+// training set happens in sample order regardless of completion order.
+type sampleSolution struct {
+	w   *workload.Workload
+	res *search.Result
+}
+
+// TrainContext is Train with cancellation: ctx aborts the remaining sample
+// searches and returns ctx.Err().
+func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, error) {
 	start := time.Now()
 	prob := graph.NewProblem(a.env, goal)
 	// The canonical-VM-ordering reduction fragments state merging more
@@ -126,22 +214,31 @@ func (a *Advisor) Train(goal sla.Goal) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: training: %w", err)
 	}
-	sampler := workload.NewSampler(a.env.Templates, a.cfg.Seed)
-	numLabels := len(a.env.Templates) + len(a.env.VMTypes)
-	ds := &dt.Dataset{FeatureNames: features.Names(len(a.env.Templates)), NumLabels: numLabels}
-	var samples []trainSample
-	for i := 0; i < a.cfg.NumSamples; i++ {
-		w := sampler.Uniform(a.cfg.SampleSize)
+
+	solutions := make([]sampleSolution, a.cfg.NumSamples)
+	err = forEach(ctx, a.cfg.Parallelism, a.cfg.NumSamples, func(i int) error {
+		w := workload.NewSampler(a.env.Templates, deriveSeed(a.cfg.Seed, i)).Uniform(a.cfg.SampleSize)
 		res, err := searcher.Solve(w, search.Options{
 			MaxExpansions: a.cfg.MaxExpansions,
 			KeepClosed:    a.cfg.KeepTrainingData,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: training sample %d: %w", i, err)
+			return fmt.Errorf("core: training sample %d: %w", i, err)
 		}
-		addPathToDataset(ds, prob, res.Path)
+		solutions[i] = sampleSolution{w: w, res: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	numLabels := len(a.env.Templates) + len(a.env.VMTypes)
+	ds := &dt.Dataset{FeatureNames: features.Names(len(a.env.Templates)), NumLabels: numLabels}
+	var samples []trainSample
+	for _, sol := range solutions {
+		addPathToDataset(ds, prob, sol.res.Path)
 		if a.cfg.KeepTrainingData {
-			samples = append(samples, trainSample{w: w, reuse: search.ReuseFrom(res)})
+			samples = append(samples, trainSample{w: sol.w, reuse: search.ReuseFrom(sol.res)})
 		}
 	}
 	tree := dt.Train(ds, a.cfg.Tree)

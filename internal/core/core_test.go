@@ -21,7 +21,7 @@ func smallAdvisor(t *testing.T, numTemplates, numTypes int) *Advisor {
 	cfg := DefaultTrainConfig()
 	cfg.NumSamples = 120
 	cfg.SampleSize = 8
-	return NewAdvisor(env, cfg)
+	return MustNewAdvisor(env, cfg)
 }
 
 func testGoals(env *schedule.Env) map[string]sla.Goal {
@@ -154,7 +154,7 @@ func TestAdaptRequiresTrainingData(t *testing.T) {
 	cfg.NumSamples = 20
 	cfg.SampleSize = 5
 	cfg.KeepTrainingData = false
-	adv := NewAdvisor(env, cfg)
+	adv := MustNewAdvisor(env, cfg)
 	m, err := adv.Train(sla.NewMaxLatency(15*time.Minute, env.Templates, 1))
 	if err != nil {
 		t.Fatal(err)

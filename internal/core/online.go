@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"wisedb/internal/cloud"
@@ -78,10 +79,17 @@ type augKey struct {
 // not started executing, inflates waited queries' latencies as "new
 // templates" (or shifts the goal, when enabled), obtains a model for the
 // augmented specification, and re-schedules the batch.
+//
+// An OnlineScheduler is safe for concurrent use: Run serializes whole
+// streams behind a mutex (the simulator and model caches are stateful), and
+// the base Model it wraps may simultaneously serve batch scheduling from
+// other goroutines. For concurrent independent streams, give each its own
+// OnlineScheduler over one shared base Model.
 type OnlineScheduler struct {
 	base *Model
 	opts OnlineOptions
 
+	mu        sync.Mutex // guards everything below
 	sim       *cloud.Sim
 	arrival   map[int]time.Duration // query tag -> arrival time
 	template  map[int]int           // query tag -> original template
@@ -114,8 +122,10 @@ func NewOnlineScheduler(base *Model, opts OnlineOptions) *OnlineScheduler {
 }
 
 // Run schedules the workload's queries at their arrival times and simulates
-// execution to completion.
+// execution to completion. Concurrent Run calls are serialized.
 func (o *OnlineScheduler) Run(w *workload.Workload) (*OnlineResult, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if len(w.Templates) != len(o.base.env.Templates) {
 		return nil, fmt.Errorf("core: online workload has %d templates, model expects %d", len(w.Templates), len(o.base.env.Templates))
 	}
@@ -269,7 +279,10 @@ func (o *OnlineScheduler) scheduleAugmented(t time.Duration, batch []int) (*sche
 		if err != nil {
 			return nil, err
 		}
-		adv := NewAdvisor(env, o.opts.Retrain)
+		adv, err := NewAdvisor(env, o.opts.Retrain)
+		if err != nil {
+			return nil, fmt.Errorf("core: online augmented model: %w", err)
+		}
 		m, err = adv.Train(goal)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(i) for every i in [0, n) across a pool of worker
+// goroutines. It is the execution engine behind training, adaptive
+// re-training, and strategy profiling: each index is an independent unit of
+// work (one sample workload's exact search), so the pool hands out indices
+// from an atomic counter and workers write results into caller-owned,
+// per-index slots — no locks on the hot path, and the caller folds results
+// in index order afterwards so the outcome is identical for any worker
+// count.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0). The first error cancels the
+// remaining work and is returned; a canceled ctx surfaces as its ctx.Err().
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Inline fast path: no goroutines, same semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// deriveSeed mixes a per-sample sub-seed out of the training seed and the
+// sample index with a SplitMix64 finalizer. Every sample workload is drawn
+// from its own deterministic sub-stream, so sample i is the same workload no
+// matter which worker draws it — training results are bit-identical for any
+// Parallelism.
+func deriveSeed(seed int64, i int) int64 {
+	z := uint64(seed) + (uint64(i)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -75,7 +76,15 @@ func DefaultRecommendConfig() RecommendConfig {
 // workload, and prunes the sequence by repeatedly dropping the goal whose
 // per-template cost profile is closest (by Earth Mover's Distance) to its
 // predecessor's, until k remain.
+//
+// Each tier's training and adaptation searches run on the advisor's worker
+// pool, and the per-tier cost profiles are computed concurrently.
 func (a *Advisor) Recommend(goal sla.Goal, cfg RecommendConfig) ([]*Strategy, error) {
+	return a.RecommendContext(context.Background(), goal, cfg)
+}
+
+// RecommendContext is Recommend with cancellation.
+func (a *Advisor) RecommendContext(ctx context.Context, goal sla.Goal, cfg RecommendConfig) ([]*Strategy, error) {
 	if cfg.K <= 0 || cfg.CandidateCount < cfg.K {
 		return nil, fmt.Errorf("core: Recommend requires 0 < K <= CandidateCount, got K=%d n=%d", cfg.K, cfg.CandidateCount)
 	}
@@ -97,13 +106,13 @@ func (a *Advisor) Recommend(goal sla.Goal, cfg RecommendConfig) ([]*Strategy, er
 	// from the previous candidate needs its training data, which Adapt
 	// retains.
 	loosest := goal.Tighten(fractions[0])
-	prev, err := a.Train(loosest)
+	prev, err := a.TrainContext(ctx, loosest)
 	if err != nil {
 		return nil, err
 	}
 	models := []*Model{prev}
 	for _, p := range fractions[1:] {
-		next, err := prev.Adapt(goal.Tighten(p))
+		next, err := prev.AdaptContext(ctx, goal.Tighten(p))
 		if err != nil {
 			return nil, err
 		}
@@ -113,16 +122,21 @@ func (a *Advisor) Recommend(goal sla.Goal, cfg RecommendConfig) ([]*Strategy, er
 
 	// Profile each model's average per-template cost on one shared
 	// random workload (§6.1: no workload execution needed — the cost
-	// model prices the schedule).
+	// model prices the schedule). Profiles are independent per tier, so
+	// they run on the worker pool too.
 	sampler := workload.NewSampler(a.env.Templates, cfg.Seed)
 	profileW := sampler.Uniform(cfg.ProfileWorkloadSize)
-	strategies := make([]*Strategy, 0, len(models))
-	for _, m := range models {
-		profile, err := templateCostProfile(m, profileW)
+	strategies := make([]*Strategy, len(models))
+	err = forEach(ctx, a.cfg.Parallelism, len(models), func(i int) error {
+		profile, err := templateCostProfile(models[i], profileW)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		strategies = append(strategies, &Strategy{Model: m, AvgTemplateCost: profile})
+		strategies[i] = &Strategy{Model: models[i], AvgTemplateCost: profile}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Prune: repeatedly remove the successor of the closest adjacent

@@ -24,7 +24,10 @@ func (c *Config) Fig14() (*Table, error) {
 		for _, numTemplates := range counts {
 			s := c.newSetup(numTemplates, 1)
 			goal := s.goal(gname)
-			adv := core.NewAdvisor(s.env, c.trainConfig())
+			adv, err := core.NewAdvisor(s.env, c.trainConfig())
+			if err != nil {
+				return nil, err
+			}
 			model, err := adv.Train(goal)
 			if err != nil {
 				return nil, err
@@ -52,7 +55,10 @@ func (c *Config) Fig15() (*Table, error) {
 		for _, numTypes := range counts {
 			s := c.newSetup(numTemplates, numTypes)
 			goal := s.goal(gname)
-			adv := core.NewAdvisor(s.env, c.trainConfig())
+			adv, err := core.NewAdvisor(s.env, c.trainConfig())
+			if err != nil {
+				return nil, err
+			}
 			model, err := adv.Train(goal)
 			if err != nil {
 				return nil, err

@@ -31,6 +31,10 @@ type Config struct {
 	Quick bool
 	// Seed drives all samplers.
 	Seed int64
+	// Parallelism is the training worker count; 0 selects GOMAXPROCS.
+	// Trained models are identical for every value, so timings (Figs.
+	// 14-16) are the only figures it affects.
+	Parallelism int
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
 
@@ -144,10 +148,12 @@ func defaultGoals(templates []workload.Template) []namedGoal {
 	}
 }
 
-// trainConfig returns the training scale for the mode.
+// trainConfig returns the training scale for the mode. Training runs on the
+// parallel worker-pool path; Parallelism=0 uses every core.
 func (c *Config) trainConfig() core.TrainConfig {
 	cfg := core.DefaultTrainConfig()
 	cfg.Seed = c.Seed
+	cfg.Parallelism = c.Parallelism
 	if c.Quick {
 		cfg.NumSamples = 150
 		cfg.SampleSize = 8
@@ -165,7 +171,10 @@ func (c *Config) model(env *schedule.Env, goal sla.Goal) (*core.Model, error) {
 	if m, ok := c.modelCache[key]; ok {
 		return m, nil
 	}
-	adv := core.NewAdvisor(env, c.trainConfig())
+	adv, err := core.NewAdvisor(env, c.trainConfig())
+	if err != nil {
+		return nil, err
+	}
 	m, err := adv.Train(goal)
 	if err != nil {
 		return nil, err

@@ -6,10 +6,10 @@ import (
 	"time"
 
 	"wisedb/internal/cloud"
-	"wisedb/internal/schedule"
-	"wisedb/internal/sla"
 	"wisedb/internal/graph"
+	"wisedb/internal/schedule"
 	"wisedb/internal/search"
+	"wisedb/internal/sla"
 	"wisedb/internal/stats"
 	"wisedb/internal/workload"
 )

@@ -280,7 +280,14 @@ func (p *Problem) Actions(s *State) []Action {
 // placement costs depend on it only through Wait, Acc, and the ordering
 // bound.
 func (p *Problem) Signature(s *State) string {
-	buf := make([]byte, 0, 8*len(s.Unassigned)+16)
+	return string(p.AppendSignature(make([]byte, 0, 8*len(s.Unassigned)+16), s))
+}
+
+// AppendSignature appends the state's Signature bytes to buf and returns the
+// extended slice. It is the allocation-free form used on the search hot
+// path: callers reuse one scratch buffer per search and intern the bytes
+// into dense ids instead of materializing a string per expanded edge.
+func (p *Problem) AppendSignature(buf []byte, s *State) []byte {
 	for _, c := range s.Unassigned {
 		buf = binary.AppendVarint(buf, int64(c))
 	}
@@ -289,8 +296,7 @@ func (p *Problem) Signature(s *State) string {
 	if !p.NoSymmetryBreaking {
 		buf = binary.AppendVarint(buf, int64(s.OrderingBound()))
 	}
-	buf = s.Acc.AppendSignature(buf)
-	return string(buf)
+	return s.Acc.AppendSignature(buf)
 }
 
 // orderingBound returns the template bound the canonical VM ordering

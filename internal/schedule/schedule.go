@@ -9,7 +9,9 @@ package schedule
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"wisedb/internal/cloud"
@@ -19,15 +21,70 @@ import (
 
 // Env bundles the static context a schedule is evaluated against: the
 // template set, the available VM types, and the latency predictor.
+//
+// An Env is immutable once in use and safe for concurrent use: the first
+// latency query freezes the predictor's template×VM-type table into a
+// flat matrix, and every later lookup — including the per-edge lookups of
+// many concurrent A* searches — is served from that matrix without touching
+// the Predictor again. Do not modify Templates, VMTypes, or Pred after the
+// Env has been handed to a searcher, model, or scheduler.
 type Env struct {
 	Templates []workload.Template
 	VMTypes   []cloud.VMType
 	Pred      cloud.Predictor
+
+	// The once-frozen prediction tables. lat is the template×VM-type
+	// latency matrix, flattened row-major; a negative entry means the
+	// type cannot run the template. cheapest and fastest hold the Eq. 3
+	// per-template minima over VM types (processing cost and latency);
+	// cheapest is +Inf and fastest 0 for templates no type can run.
+	once     sync.Once
+	lat      []time.Duration
+	cheapest []float64
+	fastest  []time.Duration
 }
 
 // NewEnv returns an Env using the exact latency table predictor.
 func NewEnv(templates []workload.Template, vmTypes []cloud.VMType) *Env {
-	return &Env{Templates: templates, VMTypes: vmTypes, Pred: cloud.TablePredictor{}}
+	e := &Env{Templates: templates, VMTypes: vmTypes, Pred: cloud.TablePredictor{}}
+	e.freeze()
+	return e
+}
+
+// freeze materializes the latency matrix and the per-template minima. It
+// runs at most once; Envs built by NewEnv freeze eagerly, Envs assembled as
+// struct literals freeze on first lookup. Predicted latencies are clamped
+// to a minimum of 1ns: the matrix encodes "cannot run" as a negative entry
+// and "no runnable type" as a zero fastest latency, so a predictor
+// reporting a non-positive latency with ok=true would otherwise corrupt
+// both sentinels (no real predictor estimates a query at zero time).
+func (e *Env) freeze() {
+	e.once.Do(func() {
+		nT, nV := len(e.Templates), len(e.VMTypes)
+		e.lat = make([]time.Duration, nT*nV)
+		e.cheapest = make([]float64, nT)
+		e.fastest = make([]time.Duration, nT)
+		for t := range e.Templates {
+			e.cheapest[t] = math.Inf(1)
+			for v := range e.VMTypes {
+				lat, ok := e.Pred.Latency(e.Templates[t], e.VMTypes[v])
+				if !ok {
+					e.lat[t*nV+v] = -1
+					continue
+				}
+				if lat < time.Nanosecond {
+					lat = time.Nanosecond
+				}
+				e.lat[t*nV+v] = lat
+				if c := e.VMTypes[v].RunningCost(lat); c < e.cheapest[t] {
+					e.cheapest[t] = c
+				}
+				if e.fastest[t] == 0 || lat < e.fastest[t] {
+					e.fastest[t] = lat
+				}
+			}
+		}
+	})
 }
 
 // Latency returns the predicted latency of template templateID on VM type
@@ -36,7 +93,12 @@ func (e *Env) Latency(templateID, typeID int) (time.Duration, bool) {
 	if templateID < 0 || templateID >= len(e.Templates) || typeID < 0 || typeID >= len(e.VMTypes) {
 		return 0, false
 	}
-	return e.Pred.Latency(e.Templates[templateID], e.VMTypes[typeID])
+	e.freeze()
+	lat := e.lat[templateID*len(e.VMTypes)+typeID]
+	if lat < 0 {
+		return 0, false
+	}
+	return lat, true
 }
 
 // CheapestLatencyCost returns the minimum over VM types of
@@ -44,18 +106,28 @@ func (e *Env) Latency(templateID, typeID int) (time.Duration, bool) {
 // instance of the template. It is the per-query term of the A* heuristic
 // (Eq. 3). ok is false if no type can run the template.
 func (e *Env) CheapestLatencyCost(templateID int) (float64, bool) {
-	best, found := 0.0, false
-	for _, vt := range e.VMTypes {
-		lat, ok := e.Latency(templateID, vt.ID)
-		if !ok {
-			continue
-		}
-		c := vt.RunningCost(lat)
-		if !found || c < best {
-			best, found = c, true
-		}
+	if templateID < 0 || templateID >= len(e.Templates) {
+		return 0, false
 	}
-	return best, found
+	e.freeze()
+	c := e.cheapest[templateID]
+	if math.IsInf(c, 1) {
+		return 0, false
+	}
+	return c, true
+}
+
+// FastestLatency returns the minimum latency of the template over all VM
+// types that can run it; ok is false if no type can.
+func (e *Env) FastestLatency(templateID int) (time.Duration, bool) {
+	if templateID < 0 || templateID >= len(e.Templates) {
+		return 0, false
+	}
+	e.freeze()
+	if e.fastest[templateID] == 0 {
+		return 0, false
+	}
+	return e.fastest[templateID], true
 }
 
 // Placed is a query placed in a VM queue.

@@ -3,6 +3,7 @@ package schedule
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -128,4 +129,75 @@ func TestStringRendering(t *testing.T) {
 	if !strings.Contains(out, "vm0=[T1,T0]") || !strings.Contains(out, "vm1=[T2]") {
 		t.Fatalf("unexpected rendering %q", out)
 	}
+}
+
+// The frozen latency matrix must agree entry-for-entry with the predictor it
+// was built from, including the cannot-run cases and the Eq. 3 minima.
+func TestEnvFrozenMatrixMatchesPredictor(t *testing.T) {
+	e := env()
+	for ti := range e.Templates {
+		for vi := range e.VMTypes {
+			gotLat, gotOK := e.Latency(ti, vi)
+			wantLat, wantOK := e.Pred.Latency(e.Templates[ti], e.VMTypes[vi])
+			if gotOK != wantOK || gotLat != wantLat {
+				t.Fatalf("Latency(%d,%d) = (%s,%v), predictor says (%s,%v)", ti, vi, gotLat, gotOK, wantLat, wantOK)
+			}
+		}
+		cheap, ok := e.CheapestLatencyCost(ti)
+		if !ok {
+			t.Fatalf("template %d: no cheapest cost", ti)
+		}
+		want := math.Inf(1)
+		fastest := time.Duration(0)
+		for vi, vt := range e.VMTypes {
+			if lat, ok := e.Pred.Latency(e.Templates[ti], e.VMTypes[vi]); ok {
+				if c := vt.RunningCost(lat); c < want {
+					want = c
+				}
+				if fastest == 0 || lat < fastest {
+					fastest = lat
+				}
+			}
+		}
+		if math.Abs(cheap-want) > 1e-12 {
+			t.Fatalf("template %d: cheapest %f, want %f", ti, cheap, want)
+		}
+		if got, ok := e.FastestLatency(ti); !ok || got != fastest {
+			t.Fatalf("template %d: fastest (%s,%v), want (%s,true)", ti, got, ok, fastest)
+		}
+	}
+	if _, ok := e.Latency(-1, 0); ok {
+		t.Fatal("out-of-range template must miss")
+	}
+	if _, ok := e.Latency(0, len(e.VMTypes)); ok {
+		t.Fatal("out-of-range VM type must miss")
+	}
+}
+
+// A struct-literal Env (no NewEnv) must freeze lazily and safely under
+// concurrent first use: run with -race.
+func TestEnvLazyFreezeConcurrent(t *testing.T) {
+	e := &Env{
+		Templates: workload.DefaultTemplates(4),
+		VMTypes:   cloud.DefaultVMTypes(2),
+		Pred:      cloud.TablePredictor{},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range e.Templates {
+				for vi := range e.VMTypes {
+					got, ok := e.Latency(ti, vi)
+					want, wantOK := cloud.TablePredictor{}.Latency(e.Templates[ti], e.VMTypes[vi])
+					if ok != wantOK || got != want {
+						t.Errorf("Latency(%d,%d) = (%s,%v), want (%s,%v)", ti, vi, got, ok, want, wantOK)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -2,7 +2,9 @@
 // scheduling graph (§4.3) with the admissible heuristic of Eq. 3 for
 // monotonically increasing goals, an admissible penalty-corrected variant
 // for non-monotonic goals, and the adaptive-A* heuristic reuse of §5 for
-// re-solving a sample workload under a tightened goal (Lemma 5.1).
+// re-solving a sample workload under a tightened goal (Lemma 5.1; applied
+// to monotonic goals only — see Reuse for why it is unsound under
+// refundable penalties).
 //
 // A* is complete and, with an admissible heuristic, exact — so this package
 // also serves as the "Optimal" comparator of the paper's evaluation (§7.2).
@@ -21,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"wisedb/internal/graph"
@@ -50,10 +53,10 @@ type Result struct {
 	// Optimal is false only if the expansion limit interrupted the
 	// search before optimality was proven.
 	Optimal bool
-	// ClosedG maps state signatures to the best path cost with which the
-	// state was reached. Adaptive modeling (§5) feeds this into the
-	// heuristic of a re-search under a tightened goal.
-	ClosedG map[string]float64
+	// Closed records, per interned state signature, the best path cost
+	// with which the state was reached. Adaptive modeling (§5) feeds this
+	// into the heuristic of a re-search under a tightened goal.
+	Closed *Closed
 }
 
 // Schedule materializes the schedule the result's action path builds.
@@ -61,13 +64,20 @@ func (r *Result) Schedule() *schedule.Schedule { return graph.BuildSchedule(r.Ac
 
 // Reuse is the information adaptive A* (§5) carries from a completed search
 // to a re-search of the same workload under a stricter goal: the old optimal
-// cost and the per-signature path costs. h'(v) = max(h(v), OldCost − g_old(v))
-// never overestimates under the stricter goal (Lemma 5.1).
+// cost and the interned per-signature path costs.
+// h'(v) = max(h(v), OldCost − g_old(v)) never overestimates under the
+// stricter goal (Lemma 5.1) — provided every edge cost weakly increases
+// under the tightening, which holds for monotonic goals only. Non-monotonic
+// goals (Average, Percentile) refund accumulated penalty on later
+// placements, so a tightened goal can make an edge cheaper, g_old(v) can
+// exceed g_new(v), and the reuse bound would overestimate and prune the
+// true optimum. The search therefore applies Reuse only to monotonic goals
+// and silently ignores it otherwise.
 type Reuse struct {
 	// OldCost is cost(R, g): the optimal cost under the old goal.
 	OldCost float64
-	// G maps signatures to g_old(v).
-	G map[string]float64
+	// Closed holds g_old(v) per interned signature.
+	Closed *Closed
 }
 
 // Options tunes a search.
@@ -80,7 +90,7 @@ type Options struct {
 	// information from a previous search of the same workload under a
 	// looser goal.
 	Reuse *Reuse
-	// KeepClosed records ClosedG in the result (needed when the result
+	// KeepClosed records Closed in the result (needed when the result
 	// will later seed a Reuse). It costs memory proportional to the
 	// number of distinct states seen.
 	KeepClosed bool
@@ -102,10 +112,11 @@ var ErrNoSchedule = errors.New("search: no complete schedule exists")
 
 const eps = 1e-9
 
-// node is an entry of the open list.
+// node is an entry of the open list. States are identified by the dense id
+// their signature interns to, not by the signature string itself.
 type node struct {
 	state  *graph.State
-	sig    string
+	id     uint32
 	g      float64
 	f      float64
 	parent *node
@@ -145,11 +156,18 @@ func (h *openHeap) Pop() any {
 
 // Searcher solves scheduling problems. It precomputes the per-template
 // cheapest processing costs used by the Eq. 3 heuristic.
+//
+// A Searcher is safe for concurrent use: all precomputed tables are
+// read-only after New, and each Solve call draws its mutable scratch state
+// (signature buffer, intern table, node arena, open list) from a pool so
+// that concurrent searches — the training worker pool runs one per worker —
+// never share buffers.
 type Searcher struct {
 	prob         *graph.Problem
 	minCost      []float64
 	minLat       []time.Duration
 	latOrderDesc []int
+	arenas       sync.Pool // *arena
 }
 
 // New returns a Searcher for the problem. It returns an error if some
@@ -163,21 +181,82 @@ func New(prob *graph.Problem) (*Searcher, error) {
 			return nil, fmt.Errorf("%w: template %d runs on no VM type", ErrNoSchedule, i)
 		}
 		minCost[i] = c
-		fastest := time.Duration(0)
-		for _, vt := range prob.Env.VMTypes {
-			lat, ok := prob.Env.Latency(i, vt.ID)
-			if !ok {
-				continue
-			}
-			if fastest == 0 || lat < fastest {
-				fastest = lat
-			}
-		}
-		minLat[i] = fastest
+		minLat[i], _ = prob.Env.FastestLatency(i)
 	}
 	s := &Searcher{prob: prob, minCost: minCost, minLat: minLat}
+	s.arenas.New = func() any { return newArena() }
 	s.initLatOrder()
 	return s, nil
+}
+
+// nodeChunkSize is the bump-allocation granularity of a search arena's node
+// blocks.
+const nodeChunkSize = 1024
+
+// arena is the per-search scratch state: one worker owns one arena for the
+// duration of a Solve, so searches allocate signature bytes, nodes, and heap
+// slots from reused memory instead of churning the allocator per expanded
+// edge.
+type arena struct {
+	sigBuf []byte
+	table  *InternTable
+	best   []*node // dense state id -> best known node
+	open   openHeap
+	chunks [][]node
+	chunk  int // index of the chunk newNode bump-allocates from
+	used   int // nodes used within that chunk
+}
+
+func newArena() *arena {
+	return &arena{table: NewInternTable()}
+}
+
+// reset readies the arena for a fresh search, retaining all capacity.
+func (a *arena) reset() {
+	a.sigBuf = a.sigBuf[:0]
+	a.best = a.best[:0]
+	a.open = a.open[:0]
+	a.chunk, a.used = 0, 0
+	a.table.Reset()
+}
+
+// release drops every reference the finished search left in the arena —
+// node states, parent chains, best/open entries — so an idle pooled arena
+// does not pin the search graph in memory until its next use.
+func (a *arena) release() {
+	for i := 0; i <= a.chunk && i < len(a.chunks); i++ {
+		c := a.chunks[i]
+		n := nodeChunkSize
+		if i == a.chunk {
+			n = a.used
+		}
+		for j := 0; j < n; j++ {
+			c[j] = node{}
+		}
+	}
+	for i := range a.best {
+		a.best[i] = nil
+	}
+	a.best = a.best[:0]
+	for i := range a.open {
+		a.open[i] = nil
+	}
+	a.open = a.open[:0]
+	a.chunk, a.used = 0, 0
+}
+
+// newNode bump-allocates a zeroed node.
+func (a *arena) newNode() *node {
+	if a.chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]node, nodeChunkSize))
+	}
+	n := &a.chunks[a.chunk][a.used]
+	*n = node{}
+	if a.used++; a.used == nodeChunkSize {
+		a.chunk++
+		a.used = 0
+	}
+	return n
 }
 
 // Problem returns the problem the searcher was built for.
@@ -189,7 +268,7 @@ func (s *Searcher) Problem() *graph.Problem { return s.prob }
 // may still be refunded by future placements, so the admissible form
 // subtracts it (the final penalty is at least zero). Adaptive reuse takes
 // the max with OldCost − g_old (Lemma 5.1).
-func (s *Searcher) heuristic(st *graph.State, sig string, reuse *Reuse) float64 {
+func (s *Searcher) heuristic(st *graph.State, sig []byte, reuse *Reuse) float64 {
 	h := 0.0
 	remaining := 0
 	var minFutureLat time.Duration
@@ -221,8 +300,11 @@ func (s *Searcher) heuristic(st *graph.State, sig string, reuse *Reuse) float64 
 	} else if remaining > 0 {
 		h += s.packingBound(st, minFutureLat)
 	}
-	if reuse != nil {
-		if gOld, ok := reuse.G[sig]; ok {
+	// Reuse is sound only for monotonic goals: non-monotonic penalties are
+	// refundable, so a tightened goal can lower an edge's cost and
+	// OldCost − g_old(v) would overestimate (see Reuse).
+	if reuse != nil && s.prob.Goal.Monotonic() {
+		if gOld, ok := reuse.Closed.Lookup(sig); ok {
 			if adaptive := reuse.OldCost - gOld; adaptive > h {
 				h = adaptive
 			}
@@ -286,20 +368,35 @@ func (s *Searcher) packingBound(st *graph.State, minFutureLat time.Duration) flo
 	return best
 }
 
-// Solve finds a minimum-cost complete schedule for the workload.
+// Solve finds a minimum-cost complete schedule for the workload. It is safe
+// to call concurrently from multiple goroutines on one Searcher.
 func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 	if len(w.Templates) != len(s.prob.Env.Templates) {
 		return nil, fmt.Errorf("search: workload has %d templates, problem expects %d", len(w.Templates), len(s.prob.Env.Templates))
 	}
-	start := s.prob.Start(w)
-	startSig := s.prob.Signature(start)
-	root := &node{state: start, sig: startSig, g: 0, index: -1}
-	root.f = s.heuristic(start, startSig, opts.Reuse)
+	ar := s.arenas.Get().(*arena)
+	defer func() {
+		ar.release()
+		s.arenas.Put(ar)
+	}()
+	ar.reset()
+	table := ar.table
+	if opts.KeepClosed {
+		// The table escapes into the Result; the arena keeps its own.
+		table = NewInternTable()
+	}
 
-	open := &openHeap{}
+	start := s.prob.Start(w)
+	ar.sigBuf = s.prob.AppendSignature(ar.sigBuf[:0], start)
+	startID, _ := table.Intern(ar.sigBuf)
+	root := ar.newNode()
+	*root = node{state: start, id: startID, index: -1}
+	root.f = s.heuristic(start, ar.sigBuf, opts.Reuse)
+
+	ar.best = append(ar.best, root)
+	open := &ar.open
 	heap.Init(open)
 	heap.Push(open, root)
-	best := map[string]*node{startSig: root}
 	var dom *dominanceIndex
 	if _, isPct := s.prob.Goal.(sla.Percentile); isPct {
 		dom = newDominanceIndex()
@@ -318,7 +415,7 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 
 	for open.Len() > 0 {
 		n := heap.Pop(open).(*node)
-		if b := best[n.sig]; b != nil && b.g < n.g-eps {
+		if b := ar.best[n.id]; b != nil && b.g < n.g-eps {
 			continue // stale entry superseded by a cheaper path
 		}
 		if n.f >= incumbentCost-eps && (incumbent != nil || seeded) {
@@ -351,9 +448,13 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 				cost = c
 			}
 			child := s.prob.Apply(n.state, a)
-			sig := s.prob.Signature(child)
+			ar.sigBuf = s.prob.AppendSignature(ar.sigBuf[:0], child)
+			id, fresh := table.Intern(ar.sigBuf)
+			if fresh {
+				ar.best = append(ar.best, nil)
+			}
 			g := n.g + cost
-			if b, ok := best[sig]; ok && b.g <= g+eps {
+			if b := ar.best[id]; b != nil && b.g <= g+eps {
 				continue
 			}
 			if dom != nil {
@@ -362,12 +463,13 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 				}
 				dom.insert(child, g)
 			}
-			cn := &node{state: child, sig: sig, g: g, parent: n, act: a, index: -1}
-			cn.f = g + s.heuristic(child, sig, opts.Reuse)
-			if cn.f >= incumbentCost-eps {
+			f := g + s.heuristic(child, ar.sigBuf, opts.Reuse)
+			if f >= incumbentCost-eps {
 				continue // bound: cannot beat the incumbent
 			}
-			best[sig] = cn
+			cn := ar.newNode()
+			*cn = node{state: child, id: id, g: g, f: f, parent: n, act: a, index: -1}
+			ar.best[id] = cn
 			heap.Push(open, cn)
 		}
 	}
@@ -390,10 +492,15 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 	reverseActions(res.Actions)
 	reverseSteps(res.Path)
 	if opts.KeepClosed {
-		res.ClosedG = make(map[string]float64, len(best))
-		for sig, n := range best {
-			res.ClosedG[sig] = n.g
+		g := make([]float64, len(ar.best))
+		for id, n := range ar.best {
+			if n != nil {
+				g[id] = n.g
+			} else {
+				g[id] = math.Inf(1)
+			}
 		}
+		res.Closed = &Closed{Table: table, G: g}
 	}
 	return res, nil
 }
@@ -402,10 +509,10 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 // information for a re-search under a stricter goal (§5). The result must
 // have been produced with KeepClosed set.
 func ReuseFrom(r *Result) *Reuse {
-	if r.ClosedG == nil {
+	if r.Closed == nil {
 		panic("search: ReuseFrom requires a result produced with KeepClosed")
 	}
-	return &Reuse{OldCost: r.Cost, G: r.ClosedG}
+	return &Reuse{OldCost: r.Cost, Closed: r.Closed}
 }
 
 func reverseActions(a []graph.Action) {

@@ -34,6 +34,7 @@ import (
 // sound basis for dominance.
 type dominanceIndex struct {
 	buckets map[string][]domEntry
+	keyBuf  []byte // scratch reused across key computations
 }
 
 type domEntry struct {
@@ -47,20 +48,24 @@ func newDominanceIndex() *dominanceIndex {
 
 // key buckets states by everything except the violation split: unassigned
 // counts (which fix the assigned count), open VM type and wait, and the
-// canonical-ordering bound.
-func (d *dominanceIndex) key(st *graph.State) (string, []time.Duration, bool) {
+// canonical-ordering bound. The returned byte key aliases the index's
+// scratch buffer and is valid until the next key call: dominance lookups
+// read the map through it without allocating; insert's map assignment pays
+// one key-string copy.
+func (d *dominanceIndex) key(st *graph.State) ([]byte, []time.Duration, bool) {
 	_, above, ok := sla.PctState(st.Acc)
 	if !ok {
-		return "", nil, false
+		return nil, nil, false
 	}
-	buf := make([]byte, 0, 8*len(st.Unassigned)+24)
+	buf := d.keyBuf[:0]
 	for _, c := range st.Unassigned {
 		buf = binary.AppendVarint(buf, int64(c))
 	}
 	buf = binary.AppendVarint(buf, int64(st.OpenType))
 	buf = binary.AppendVarint(buf, int64(st.Wait/time.Millisecond))
 	buf = binary.AppendVarint(buf, int64(st.OrderingBound()))
-	return string(buf), above, true
+	d.keyBuf = buf
+	return buf, above, true
 }
 
 // dominatesRightAligned reports whether a (shorter or equal) pointwise
@@ -86,7 +91,7 @@ func (d *dominanceIndex) dominated(st *graph.State, g float64) bool {
 		return false
 	}
 	gHat := g - st.Acc.Penalty()
-	for _, e := range d.buckets[key] {
+	for _, e := range d.buckets[string(key)] {
 		if e.gHat <= gHat+eps && dominatesRightAligned(e.above, above) {
 			return true
 		}
@@ -102,7 +107,7 @@ func (d *dominanceIndex) insert(st *graph.State, g float64) {
 		return
 	}
 	gHat := g - st.Acc.Penalty()
-	entries := d.buckets[key]
+	entries := d.buckets[string(key)]
 	kept := entries[:0]
 	for _, e := range entries {
 		if gHat <= e.gHat+eps && dominatesRightAligned(above, e.above) {
@@ -110,5 +115,5 @@ func (d *dominanceIndex) insert(st *graph.State, g float64) {
 		}
 		kept = append(kept, e)
 	}
-	d.buckets[key] = append(kept, domEntry{above: above, gHat: gHat})
+	d.buckets[string(key)] = append(kept, domEntry{above: above, gHat: gHat})
 }

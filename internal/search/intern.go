@@ -1,0 +1,78 @@
+package search
+
+import "math"
+
+// InternTable maps state signatures to dense uint32 ids. The search interns
+// every generated state's signature exactly once and indexes its per-state
+// bookkeeping (best-known path cost, open-list node) with the dense id, so
+// the hot path never materializes a signature string for a state it has
+// already seen: lookups run on the scratch signature buffer and only a fresh
+// state's bytes are copied into the table.
+//
+// A populated table is immutable once exported on a Result (via Closed) and
+// safe for concurrent readers; Intern itself is not safe for concurrent use.
+type InternTable struct {
+	ids map[string]uint32
+}
+
+// NewInternTable returns an empty table.
+func NewInternTable() *InternTable {
+	return &InternTable{ids: make(map[string]uint32)}
+}
+
+// Len returns the number of interned signatures.
+func (t *InternTable) Len() int { return len(t.ids) }
+
+// Intern returns the dense id of the signature, assigning the next free id
+// (== Len() before the call) when the signature is new. fresh reports
+// whether a new id was assigned. The byte slice is only copied when fresh.
+func (t *InternTable) Intern(sig []byte) (id uint32, fresh bool) {
+	if id, ok := t.ids[string(sig)]; ok {
+		return id, false
+	}
+	id = uint32(len(t.ids))
+	t.ids[string(sig)] = id
+	return id, true
+}
+
+// Lookup returns the id of the signature without interning it.
+func (t *InternTable) Lookup(sig []byte) (uint32, bool) {
+	id, ok := t.ids[string(sig)]
+	return id, ok
+}
+
+// Reset empties the table, retaining its allocated capacity for reuse by a
+// later search.
+func (t *InternTable) Reset() { clear(t.ids) }
+
+// Closed is the interned closed-set export of a completed search: the
+// signature→id table plus the best path cost g(v) reached for each id.
+// Entries whose states were generated but pruned before being recorded hold
+// +Inf and report as absent. Adaptive modeling (§5) feeds a Closed back into
+// a re-search of the same workload under a tightened goal.
+type Closed struct {
+	// Table interns the signatures of every state the search generated.
+	Table *InternTable
+	// G holds the best known path cost per dense id.
+	G []float64
+}
+
+// Lookup returns the recorded best path cost for the signature.
+func (c *Closed) Lookup(sig []byte) (float64, bool) {
+	id, ok := c.Table.Lookup(sig)
+	if !ok || math.IsInf(c.G[id], 1) {
+		return 0, false
+	}
+	return c.G[id], true
+}
+
+// Len returns the number of states with a recorded path cost.
+func (c *Closed) Len() int {
+	n := 0
+	for _, g := range c.G {
+		if !math.IsInf(g, 1) {
+			n++
+		}
+	}
+	return n
+}

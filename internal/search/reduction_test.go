@@ -15,9 +15,9 @@ import (
 // cost of the unconstrained one.
 func TestSymmetryBreakingLossless(t *testing.T) {
 	env := testEnv(3, 2)
-	sampler := workload.NewSampler(env.Templates, 97)
 	for name, goal := range goalSet(env) {
 		t.Run(name, func(t *testing.T) {
+			sampler := workload.NewSampler(env.Templates, 97)
 			for trial := 0; trial < 8; trial++ {
 				w := sampler.Uniform(6)
 				withSym := graph.NewProblem(env, goal)
@@ -90,9 +90,9 @@ func TestIncumbentSeeding(t *testing.T) {
 // directly, including the VM-count terms).
 func TestBoundsAdmissibleAtRoot(t *testing.T) {
 	env := testEnv(4, 1)
-	sampler := workload.NewSampler(env.Templates, 31)
 	for name, goal := range goalSet(env) {
 		t.Run(name, func(t *testing.T) {
+			sampler := workload.NewSampler(env.Templates, 31)
 			prob := graph.NewProblem(env, goal)
 			s, err := New(prob)
 			if err != nil {
@@ -101,7 +101,7 @@ func TestBoundsAdmissibleAtRoot(t *testing.T) {
 			for trial := 0; trial < 10; trial++ {
 				w := sampler.Uniform(6)
 				start := prob.Start(w)
-				h := s.heuristic(start, prob.Signature(start), nil)
+				h := s.heuristic(start, []byte(prob.Signature(start)), nil)
 				res, err := s.Solve(w, Options{})
 				if err != nil {
 					t.Fatal(err)

@@ -17,7 +17,7 @@
 //	env := wisedb.NewEnv(templates, vmTypes)
 //	goal := wisedb.NewMaxLatency(15*time.Minute, templates, wisedb.DefaultPenaltyRate)
 //
-//	advisor := wisedb.NewAdvisor(env, wisedb.DefaultTrainConfig())
+//	advisor, err := wisedb.NewAdvisor(env, wisedb.DefaultTrainConfig())
 //	model, err := advisor.Train(goal)                  // offline, once
 //	...
 //	sched, err := model.ScheduleBatch(workload)        // runtime, any size
@@ -26,6 +26,12 @@
 // Models support adaptive re-training for stricter goals (Model.Adapt),
 // exploration of performance/cost trade-offs (Advisor.Recommend), and
 // non-preemptive online scheduling (NewOnlineScheduler).
+//
+// Training solves its N sample workloads on a worker pool
+// (TrainConfig.Parallelism, default all cores) and is bit-identical for
+// every worker count; Advisor.TrainContext accepts a context for
+// cancellation. A trained Model is immutable and safe for concurrent use —
+// one Model can serve ScheduleBatch from many goroutines at once.
 //
 // The facade re-exports the library's internal packages; see DESIGN.md for
 // the architecture and EXPERIMENTS.md for the paper-reproduction results.
@@ -113,8 +119,13 @@ const DefaultPenaltyRate = sla.DefaultPenaltyRate
 
 // Constructors re-exported from the internal packages.
 var (
-	// NewAdvisor returns an Advisor for an environment.
+	// NewAdvisor returns an Advisor for an environment. A zero-value
+	// TrainConfig trains at the default scale; invalid values are
+	// reported as an error.
 	NewAdvisor = core.NewAdvisor
+	// MustNewAdvisor is NewAdvisor panicking on error, for statically
+	// known-good configuration.
+	MustNewAdvisor = core.MustNewAdvisor
 	// DefaultTrainConfig is the experiment-scale training configuration.
 	DefaultTrainConfig = core.DefaultTrainConfig
 	// PaperTrainConfig is the paper's §7.1 scale (N=3000, m=18).
