@@ -117,13 +117,20 @@ func (vm *SimVM) NextFree(t time.Duration) time.Duration {
 // started executing by time t. Online scheduling calls this on each arrival
 // to rebuild the batch of schedulable queries (§6.3).
 func (vm *SimVM) RevokeUnstarted(t time.Duration) []int {
+	return vm.RevokeUnstartedInto(t, nil)
+}
+
+// RevokeUnstartedInto is RevokeUnstarted appending into a caller-owned
+// buffer: the online scheduler revokes across every VM on every arrival,
+// and this form keeps that sweep allocation-free in steady state. The VM's
+// queue storage is retained for reuse.
+func (vm *SimVM) RevokeUnstartedInto(t time.Duration, buf []int) []int {
 	vm.materialize(t)
-	tags := make([]int, len(vm.queue))
-	for i, q := range vm.queue {
-		tags[i] = q.tag
+	for _, q := range vm.queue {
+		buf = append(buf, q.tag)
 	}
-	vm.queue = nil
-	return tags
+	vm.queue = vm.queue[:0]
+	return buf
 }
 
 // Finish drains all remaining queued work and returns every run across all

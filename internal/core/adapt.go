@@ -67,15 +67,16 @@ func (m *Model) adapt(ctx context.Context, goal sla.Goal, keep bool) (*Model, er
 
 	numLabels := len(m.env.Templates) + len(m.env.VMTypes)
 	ds := &dt.Dataset{FeatureNames: features.Names(len(m.env.Templates)), NumLabels: numLabels}
+	fs := features.NewState(prob)
 	var samples []trainSample
 	for i, res := range solutions {
-		addPathToDataset(ds, prob, res.Path)
+		addPathToDataset(ds, fs, res.Path)
 		if keep {
 			samples = append(samples, trainSample{w: m.samples[i].w, reuse: search.ReuseFrom(res)})
 		}
 	}
 	tree := dt.Train(ds, m.TrainingConfig.Tree)
-	return &Model{
+	adapted := &Model{
 		Goal:           goal,
 		Tree:           tree,
 		TrainingTime:   time.Since(start),
@@ -84,7 +85,9 @@ func (m *Model) adapt(ctx context.Context, goal sla.Goal, keep bool) (*Model, er
 		env:            m.env,
 		prob:           runtimeProblem(m.env, goal),
 		samples:        samples,
-	}, nil
+	}
+	adapted.servingTables() // compile the serving form at adapt time
+	return adapted, nil
 }
 
 // Tighten adapts the model to its own goal tightened by fraction p (§7.3's

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"wisedb/internal/dt"
@@ -179,6 +180,15 @@ type Model struct {
 	env     *schedule.Env
 	prob    *graph.Problem
 	samples []trainSample
+
+	// serveOnce builds serve, the precomputed serving tables (compiled
+	// tree + fresh-VM cost matrix); Train/Adapt build them eagerly,
+	// directly constructed models (tests) fall back to first use.
+	serveOnce sync.Once
+	serve     *servingTables
+	// scratch pools per-call serving state for ScheduleBatch, so
+	// concurrent batch scheduling allocates O(1) amortized per query.
+	scratch sync.Pool // *servingScratch
 }
 
 // Env returns the environment the model is bound to.
@@ -234,15 +244,16 @@ func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, erro
 
 	numLabels := len(a.env.Templates) + len(a.env.VMTypes)
 	ds := &dt.Dataset{FeatureNames: features.Names(len(a.env.Templates)), NumLabels: numLabels}
+	fs := features.NewState(prob)
 	var samples []trainSample
 	for _, sol := range solutions {
-		addPathToDataset(ds, prob, sol.res.Path)
+		addPathToDataset(ds, fs, sol.res.Path)
 		if a.cfg.KeepTrainingData {
 			samples = append(samples, trainSample{w: sol.w, reuse: search.ReuseFrom(sol.res)})
 		}
 	}
 	tree := dt.Train(ds, a.cfg.Tree)
-	return &Model{
+	m := &Model{
 		Goal:           goal,
 		Tree:           tree,
 		TrainingTime:   time.Since(start),
@@ -251,7 +262,9 @@ func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, erro
 		env:            a.env,
 		prob:           runtimeProblem(a.env, goal),
 		samples:        samples,
-	}, nil
+	}
+	m.servingTables() // compile the serving form at train time
+	return m, nil
 }
 
 // runtimeProblem returns the graph problem the batch scheduler navigates.
@@ -266,11 +279,15 @@ func runtimeProblem(env *schedule.Env, goal sla.Goal) *graph.Problem {
 }
 
 // addPathToDataset converts each decision on an optimal path into a
-// (features, action-label) training instance.
-func addPathToDataset(ds *dt.Dataset, prob *graph.Problem, path []search.Step) {
-	k := len(prob.Env.Templates)
+// (features, action-label) training instance. The caller-owned feature
+// state is reused across paths; each row still gets its own vector, which
+// the dataset retains.
+func addPathToDataset(ds *dt.Dataset, fs *features.State, path []search.Step) {
+	k := fs.NumTemplates()
 	for _, step := range path {
-		ds.Add(features.Extract(prob, step.State), step.Action.Label(k))
+		fs.Reset(step.State)
+		row := fs.AppendTo(make([]float64, 0, features.VectorLen(k)), step.State)
+		ds.Add(row, step.Action.Label(k))
 	}
 }
 

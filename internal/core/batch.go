@@ -23,26 +23,53 @@ import (
 // (or vice versa when nothing is placeable). Repairs guarantee progress, so
 // scheduling terminates after at most 2n+1 steps (§7.4's complexity
 // argument: the tree is parsed at most 2n times, O(h) per parse).
+//
+// The loop is the compiled serving hot path: per-call scratch (walked
+// state, penalty tracker, feature buffer, action and retag buffers) comes
+// from a pool on the model, features are maintained incrementally (O(k) per
+// step instead of O(queue+k)), inference runs on the flat compiled tree,
+// and the state advances in place — so a schedule of n queries costs O(n·k)
+// time and O(1) amortized allocations per query, at any number of
+// concurrent callers.
 func (m *Model) ScheduleBatch(w *workload.Workload) (*schedule.Schedule, error) {
-	if len(w.Templates) != len(m.env.Templates) {
-		return nil, fmt.Errorf("core: workload has %d templates, model expects %d", len(w.Templates), len(m.env.Templates))
-	}
-	state := m.prob.Start(w)
 	k := len(m.env.Templates)
-	var actions []graph.Action
+	if len(w.Templates) != k {
+		return nil, fmt.Errorf("core: workload has %d templates, model expects %d", len(w.Templates), k)
+	}
+	for _, q := range w.Queries {
+		if q.TemplateID < 0 || q.TemplateID >= k {
+			return nil, fmt.Errorf("core: query tag %d references unknown template %d", q.Tag, q.TemplateID)
+		}
+	}
+	tables := m.servingTables()
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	sc.resetState(w, k)
+	state := &sc.state
 	maxSteps := 2*len(w.Queries) + 1
 	for steps := 0; !state.IsGoal(); steps++ {
 		if steps > maxSteps {
 			return nil, fmt.Errorf("core: scheduler failed to make progress after %d steps", steps)
 		}
-		act := graph.ActionFromLabel(m.Tree.Predict(features.Extract(m.prob, state)), k)
+		sc.feat = sc.fs.AppendTo(sc.feat[:0], state)
+		act := graph.ActionFromLabel(tables.compiled.Predict(sc.feat), k)
 		act = m.repair(state, act)
-		act = m.guardDominatedPlacement(state, act)
-		state = m.prob.Apply(state, act)
-		actions = append(actions, act)
+		if act.Kind == graph.Place && state.CanStartup() && len(state.OpenQueue) > 0 {
+			// The feature vector already holds act's Eq. 2 placement
+			// cost (cost-of-X is bit-identical to PlacementCost);
+			// recompute only if the feature was clamped at Infinite.
+			cur := sc.feat[1+features.PerTemplate*act.Template+2]
+			if cur >= features.Infinite {
+				cur, _ = m.prob.PlacementCost(state, act.Template)
+			}
+			act = m.guardWithCost(state, act, cur)
+		}
+		m.prob.ApplyInPlace(state, act)
+		sc.fs.Apply(act)
+		sc.actions = append(sc.actions, act)
 	}
-	sched := graph.BuildSchedule(actions)
-	retagSchedule(sched, w)
+	sched := buildSchedule(sc.actions, len(w.Queries))
+	sc.retag(sched, w)
 	return sched, nil
 }
 
@@ -95,16 +122,27 @@ func (m *Model) guardDominatedPlacement(s *graph.State, act graph.Action) graph.
 	if !ok {
 		return act
 	}
+	return m.guardWithCost(s, act, cur)
+}
+
+// guardWithCost is guardDominatedPlacement once the placement's Eq. 2 cost
+// is known; the serving loop reads cur out of the feature vector it just
+// extracted instead of recomputing it.
+func (m *Model) guardWithCost(s *graph.State, act graph.Action, cur float64) graph.Action {
+	// Fresh-VM fees come from the precomputed serving table; only the
+	// goal-dependent penalty delta is evaluated per candidate type.
+	tables := m.servingTables()
+	penalty := s.Acc.Penalty()
 	bestType, bestCost := -1, math.Inf(1)
-	for _, vt := range m.env.VMTypes {
-		lat, ok := m.env.Latency(act.Template, vt.ID)
-		if !ok {
+	for v := 0; v < tables.numTypes; v++ {
+		fees := tables.fresh[act.Template*tables.numTypes+v]
+		if math.IsInf(fees, 1) {
 			continue
 		}
-		fresh := vt.StartupCost + vt.RunningCost(lat) +
-			s.Acc.PeekAdd(act.Template, lat) - s.Acc.Penalty()
+		lat := tables.freshLat[act.Template*tables.numTypes+v]
+		fresh := fees + s.Acc.PeekAdd(act.Template, lat) - penalty
 		if fresh < bestCost {
-			bestType, bestCost = vt.ID, fresh
+			bestType, bestCost = v, fresh
 		}
 	}
 	if bestType >= 0 && bestCost < cur-1e-9 {
@@ -173,25 +211,4 @@ func (m *Model) bestStartupType(s *graph.State) (vt int, ok bool) {
 		}
 	}
 	return vt, ok
-}
-
-// retagSchedule rewrites the placeholder tags produced by BuildSchedule
-// with the workload's real query tags, matching instances template by
-// template in workload order.
-func retagSchedule(s *schedule.Schedule, w *workload.Workload) {
-	byTemplate := map[int][]int{}
-	for _, q := range w.Queries {
-		byTemplate[q.TemplateID] = append(byTemplate[q.TemplateID], q.Tag)
-	}
-	for vi := range s.VMs {
-		for qi := range s.VMs[vi].Queue {
-			t := s.VMs[vi].Queue[qi].TemplateID
-			tags := byTemplate[t]
-			if len(tags) == 0 {
-				continue // schedule/workload mismatch surfaces in Validate
-			}
-			s.VMs[vi].Queue[qi].Tag = tags[0]
-			byTemplate[t] = tags[1:]
-		}
-	}
 }

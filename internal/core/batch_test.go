@@ -110,8 +110,7 @@ func TestRepairAlwaysValid(t *testing.T) {
 	}
 }
 
-// retagSchedule must hand out each workload tag exactly once, matching
-// templates.
+// retag must hand out each workload tag exactly once, matching templates.
 func TestRetagSchedule(t *testing.T) {
 	env := schedule.NewEnv(workload.DefaultTemplates(2), cloud.DefaultVMTypes(1))
 	w := &workload.Workload{Templates: env.Templates, Queries: []workload.Query{
@@ -121,7 +120,7 @@ func TestRetagSchedule(t *testing.T) {
 		{TypeID: 0, Queue: []schedule.Placed{{TemplateID: 1}, {TemplateID: 0}}},
 		{TypeID: 0, Queue: []schedule.Placed{{TemplateID: 0}}},
 	}}
-	retagSchedule(sched, w)
+	new(servingScratch).retag(sched, w)
 	if err := sched.Validate(env, w); err != nil {
 		t.Fatalf("retagged schedule invalid: %v", err)
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -96,6 +98,27 @@ type OnlineScheduler struct {
 	shiftedBy map[time.Duration]*Model
 	augmented map[string]*Model
 	res       *OnlineResult
+
+	// Persistent per-stream scratch: the arrival loop re-batches and
+	// re-places on every event, and these buffers keep that machinery
+	// allocation-free in steady state instead of rebuilding maps and
+	// candidate sets from scratch each arrival.
+	batch    []int            // revoked + newly arrived tags
+	queries  []workload.Query // batch rendered as workload queries
+	wl       workload.Workload
+	cands    [][]vmCandidate // per VM type, idle-soonest placement candidates
+	candNext []int           // per VM type, cursor of the next unused candidate
+
+	// placeStarted, when non-nil, is invoked at the top of place; tests
+	// use it to pin that simulator placement runs outside the timed
+	// advisor window (§6.3's overhead metric excludes execution).
+	placeStarted func()
+}
+
+// vmCandidate is an active physical VM considered for an abstract VM slot.
+type vmCandidate struct {
+	vm   *cloud.SimVM
+	free time.Duration
 }
 
 // NewOnlineScheduler returns a scheduler driven by the base model. The
@@ -150,30 +173,35 @@ func (o *OnlineScheduler) Run(w *workload.Workload) (*OnlineResult, error) {
 // onArrival handles one arrival event at time t (§6.3): revoke unstarted
 // queries, form the batch B_i, obtain a model for the waited queries, and
 // re-schedule.
+//
+// Only model acquisition and tree parsing are timed — SchedulingTime and
+// PerArrival are the advisor-overhead metric of Fig. 19, and mapping the
+// schedule onto simulator VMs (place) stands in for the execution layer the
+// paper does not charge to the advisor (§6.3). TestOnlineTimingExcludesPlacement
+// pins placement outside the timed window.
 func (o *OnlineScheduler) onArrival(t time.Duration, arrived []workload.Query) error {
 	for _, q := range arrived {
 		o.arrival[q.Tag] = t
 		o.template[q.Tag] = q.TemplateID
 	}
-	batch := make([]int, 0, len(arrived))
+	o.batch = o.batch[:0]
 	for _, vm := range o.sim.VMs() {
-		batch = append(batch, vm.RevokeUnstarted(t)...)
+		o.batch = vm.RevokeUnstartedInto(t, o.batch)
 	}
 	for _, q := range arrived {
-		batch = append(batch, q.Tag)
+		o.batch = append(o.batch, q.Tag)
 	}
-	sort.Ints(batch)
+	slices.Sort(o.batch)
 
 	begin := time.Now()
-	sched, err := o.scheduleBatch(t, batch)
+	sched, err := o.scheduleBatch(t, o.batch)
+	elapsed := time.Since(begin)
 	if err != nil {
 		return err
 	}
-	o.place(t, sched)
-	elapsed := time.Since(begin)
 	o.res.SchedulingTime += elapsed
 	o.res.PerArrival = append(o.res.PerArrival, elapsed)
-	return nil
+	return o.place(t, sched)
 }
 
 // waitBucket floors a wait to the configured resolution.
@@ -336,12 +364,12 @@ func augmentGoal(g sla.Goal, base []workload.Template, augID map[augKey]int) (sl
 // scheduleWith runs the model's batch scheduler over real query tags using
 // the original template of each query.
 func (o *OnlineScheduler) scheduleWith(m *Model, batch []int) (*schedule.Schedule, error) {
-	queries := make([]workload.Query, len(batch))
-	for i, tag := range batch {
-		queries[i] = workload.Query{TemplateID: o.template[tag], Tag: tag}
+	o.queries = o.queries[:0]
+	for _, tag := range batch {
+		o.queries = append(o.queries, workload.Query{TemplateID: o.template[tag], Tag: tag})
 	}
-	w := &workload.Workload{Templates: m.env.Templates, Queries: queries}
-	return m.ScheduleBatch(w)
+	o.wl = workload.Workload{Templates: m.env.Templates, Queries: o.queries}
+	return m.ScheduleBatch(&o.wl)
 }
 
 // place maps the abstract VMs of a schedule onto physical simulator VMs:
@@ -349,23 +377,42 @@ func (o *OnlineScheduler) scheduleWith(m *Model, batch []int) (*schedule.Schedul
 // type i with no queued work, renting a new VM otherwise (DESIGN.md §2,
 // "online scheduling interpretation"). Queries are enqueued with their true
 // execution latency on the physical VM's type.
-func (o *OnlineScheduler) place(t time.Duration, sched *schedule.Schedule) {
-	type candidate struct {
-		vm   *cloud.SimVM
-		free time.Duration
+//
+// It returns an error if a query's template cannot run on its assigned VM
+// type: the batch scheduler only emits supported placements, so an
+// unservable (template, VM type) pair here is a bug upstream — reported
+// loudly instead of being absorbed as an absurd simulated latency.
+func (o *OnlineScheduler) place(t time.Duration, sched *schedule.Schedule) error {
+	if o.placeStarted != nil {
+		o.placeStarted()
 	}
-	available := map[int][]candidate{} // VM type -> idle-soonest candidates
+	numTypes := len(o.base.env.VMTypes)
+	if cap(o.cands) < numTypes {
+		o.cands = make([][]vmCandidate, numTypes)
+		o.candNext = make([]int, numTypes)
+	}
+	o.cands = o.cands[:numTypes]
+	o.candNext = o.candNext[:numTypes]
+	for ti := range o.cands {
+		o.cands[ti] = o.cands[ti][:0]
+		o.candNext[ti] = 0
+	}
 	for _, vm := range o.sim.VMs() {
-		available[vm.Type.ID] = append(available[vm.Type.ID], candidate{vm: vm, free: vm.NextFree(t)})
+		o.cands[vm.Type.ID] = append(o.cands[vm.Type.ID], vmCandidate{vm: vm, free: vm.NextFree(t)})
 	}
-	for ti := range available {
-		sort.Slice(available[ti], func(i, j int) bool { return available[ti][i].free < available[ti][j].free })
+	for ti := range o.cands {
+		slices.SortFunc(o.cands[ti], func(a, b vmCandidate) int {
+			return cmp.Compare(a.free, b.free)
+		})
 	}
 	for _, avm := range sched.VMs {
 		var target *cloud.SimVM
-		if cands := available[avm.TypeID]; len(cands) > 0 {
-			target = cands[0].vm
-			available[avm.TypeID] = cands[1:]
+		// Consume candidates through a cursor, not by reslicing: an
+		// advanced slice header would abandon the front of the pooled
+		// backing array on every arrival and force periodic regrowth.
+		if next := o.candNext[avm.TypeID]; next < len(o.cands[avm.TypeID]) {
+			target = o.cands[avm.TypeID][next].vm
+			o.candNext[avm.TypeID]++
 		} else {
 			target = o.sim.Rent(o.base.env.VMTypes[avm.TypeID], t)
 			o.res.VMsRented++
@@ -374,11 +421,12 @@ func (o *OnlineScheduler) place(t time.Duration, sched *schedule.Schedule) {
 			orig := o.template[q.Tag]
 			lat, ok := o.base.env.Latency(orig, target.Type.ID)
 			if !ok {
-				lat = 1000 * time.Hour
+				return fmt.Errorf("core: online placement: template %d (query tag %d) cannot run on VM type %d", orig, q.Tag, target.Type.ID)
 			}
 			target.Enqueue(q.Tag, orig, lat)
 		}
 	}
+	return nil
 }
 
 // finish drains the simulation and computes the final cost: provisioning

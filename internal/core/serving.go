@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"wisedb/internal/dt"
+	"wisedb/internal/features"
+	"wisedb/internal/graph"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+// servingTables holds the read-only, precomputed serving form of a model:
+// the decision tree flattened for pointer-chase-free inference, and the
+// fresh-VM cost table the dominated-placement guard consults on every
+// placement step. Built once per model (train, adapt, or first use) and
+// shared by every concurrent ScheduleBatch call.
+type servingTables struct {
+	compiled *dt.CompiledTree
+	// fresh[t*numTypes+v] is the goal-independent cost of serving one
+	// query of template t on a fresh VM of type v — start-up fee plus
+	// processing fee — and freshLat its completion time there; +Inf / 0
+	// when type v cannot run t.
+	fresh    []float64
+	freshLat []time.Duration
+	numTypes int
+}
+
+// servingTables returns the model's serving tables, building them on first
+// use. Train and adapt call it eagerly so serving never pays the build.
+func (m *Model) servingTables() *servingTables {
+	m.serveOnce.Do(func() {
+		env := m.env
+		k, nv := len(env.Templates), len(env.VMTypes)
+		t := &servingTables{
+			fresh:    make([]float64, k*nv),
+			freshLat: make([]time.Duration, k*nv),
+			numTypes: nv,
+		}
+		for tpl := 0; tpl < k; tpl++ {
+			for v := 0; v < nv; v++ {
+				lat, ok := env.Latency(tpl, v)
+				if !ok {
+					t.fresh[tpl*nv+v] = math.Inf(1)
+					continue
+				}
+				vt := env.VMTypes[v]
+				t.fresh[tpl*nv+v] = vt.StartupCost + vt.RunningCost(lat)
+				t.freshLat[tpl*nv+v] = lat
+			}
+		}
+		if m.Tree != nil {
+			t.compiled = m.Tree.Compile()
+		}
+		m.serve = t
+	})
+	return m.serve
+}
+
+// CompiledTree returns the flat serving form of the model's decision tree
+// (compiled at training time), or nil for a model without a tree.
+func (m *Model) CompiledTree() *dt.CompiledTree { return m.servingTables().compiled }
+
+// servingScratch is the per-call mutable state of ScheduleBatch, drawn from
+// the model's sync.Pool so that concurrent batch scheduling from many
+// goroutines allocates O(1) amortized per query: the walked state, the
+// penalty tracker, the incremental feature extractor, and the feature /
+// action / retag buffers are all reused across calls.
+type servingScratch struct {
+	state   graph.State
+	tracker *sla.Tracker
+	fs      *features.State
+	feat    []float64
+	actions []graph.Action
+	// Retag buffers: tags holds the workload's query tags grouped by
+	// template (a counting sort), next[t] the cursor of the first unhanded
+	// tag of template t, and start[t] the group boundaries.
+	tags  []int
+	next  []int
+	start []int
+}
+
+// getScratch draws a scratch from the pool, constructing one bound to the
+// model's goal and problem when the pool is empty.
+func (m *Model) getScratch() *servingScratch {
+	if sc, ok := m.scratch.Get().(*servingScratch); ok {
+		return sc
+	}
+	return &servingScratch{
+		tracker: sla.NewTracker(m.Goal),
+		fs:      features.NewState(m.prob),
+	}
+}
+
+// putScratch returns a scratch to the pool.
+func (m *Model) putScratch(sc *servingScratch) { m.scratch.Put(sc) }
+
+// resetState readies the scratch's walked state as the start vertex for w,
+// reusing the backing arrays.
+func (sc *servingScratch) resetState(w *workload.Workload, k int) {
+	st := &sc.state
+	st.Unassigned = resizeInts(st.Unassigned, k)
+	for _, q := range w.Queries {
+		st.Unassigned[q.TemplateID]++
+	}
+	st.OpenType = graph.NoVM
+	st.OpenQueue = st.OpenQueue[:0]
+	st.Wait = 0
+	sc.tracker.Reset()
+	st.Acc = sc.tracker
+	st.PrevFirst = graph.Unconstrained
+	sc.fs.Reset(st)
+	sc.actions = sc.actions[:0]
+}
+
+// retag rewrites the placeholder tags produced by BuildSchedule with the
+// workload's real query tags, matching instances template by template in
+// workload order. It is the scratch-buffered replacement for the per-call
+// map the serving path used to build: a counting sort over the scratch's
+// integer buffers, zero allocations in steady state.
+func (sc *servingScratch) retag(s *schedule.Schedule, w *workload.Workload) {
+	k := len(w.Templates)
+	sc.start = resizeInts(sc.start, k+1)
+	for _, q := range w.Queries {
+		sc.start[q.TemplateID+1]++
+	}
+	for t := 0; t < k; t++ {
+		sc.start[t+1] += sc.start[t]
+	}
+	sc.next = resizeInts(sc.next, k)
+	copy(sc.next, sc.start[:k])
+	sc.tags = resizeInts(sc.tags, len(w.Queries))
+	for _, q := range w.Queries {
+		sc.tags[sc.next[q.TemplateID]] = q.Tag
+		sc.next[q.TemplateID]++
+	}
+	copy(sc.next, sc.start[:k])
+	for vi := range s.VMs {
+		for qi := range s.VMs[vi].Queue {
+			t := s.VMs[vi].Queue[qi].TemplateID
+			if t < 0 || t >= k || sc.next[t] >= sc.start[t+1] {
+				continue // schedule/workload mismatch surfaces in Validate
+			}
+			s.VMs[vi].Queue[qi].Tag = sc.tags[sc.next[t]]
+			sc.next[t]++
+		}
+	}
+}
+
+// buildSchedule materializes an action walk into an exactly-sized
+// Schedule: one allocation for the VM list and one backing array shared by
+// every queue (capacity-capped sub-slices, so appending to one queue can
+// never clobber a neighbor). It is graph.BuildSchedule minus the
+// incremental growth — the growslice traffic of the generic builder
+// dominated the serving profile once the walk itself stopped allocating.
+// Tags are left zero; retag overwrites them with the workload's.
+func buildSchedule(actions []graph.Action, numQueries int) *schedule.Schedule {
+	numVMs := 0
+	for _, a := range actions {
+		if a.Kind == graph.Startup {
+			numVMs++
+		}
+	}
+	s := &schedule.Schedule{VMs: make([]schedule.VM, 0, numVMs)}
+	backing := make([]schedule.Placed, 0, numQueries)
+	segStart := 0
+	closeOpen := func() {
+		if len(s.VMs) > 0 {
+			s.VMs[len(s.VMs)-1].Queue = backing[segStart:len(backing):len(backing)]
+		}
+		segStart = len(backing)
+	}
+	for _, a := range actions {
+		switch a.Kind {
+		case graph.Startup:
+			closeOpen()
+			s.VMs = append(s.VMs, schedule.VM{TypeID: a.VMType})
+		case graph.Place:
+			if len(s.VMs) == 0 {
+				panic("core: placement before any start-up action")
+			}
+			backing = append(backing, schedule.Placed{TemplateID: a.Template})
+		}
+	}
+	closeOpen()
+	return s
+}
+
+// resizeInts returns s with length n and every element zeroed, reusing the
+// backing array when it is large enough.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -57,46 +57,135 @@ func Names(k int) []string {
 //   - cost-of-X: the weight of the placement edge for X (Eq. 2), Infinite
 //     when no VM is open or the type cannot run X.
 //   - have-X: whether an instance of X is still unassigned.
+//
+// Extract allocates a fresh vector and rescans the open queue; it is the
+// reference form used by training, where each vertex is visited once. The
+// serving loop, which visits a long chain of vertices, uses State instead.
 func Extract(prob *graph.Problem, s *graph.State) []float64 {
-	k := len(prob.Env.Templates)
-	v := make([]float64, VectorLen(k))
-	v[0] = s.Wait.Seconds()
-
-	queueTotal := len(s.OpenQueue)
-	counts := make([]int, k)
-	for _, t := range s.OpenQueue {
-		counts[t]++
-	}
-	for i := 0; i < k; i++ {
-		base := 1 + PerTemplate*i
-		if queueTotal > 0 {
-			v[base] = float64(counts[i]) / float64(queueTotal)
-		}
-		v[base+1] = 0
-		v[base+2] = Infinite
-		if s.OpenType != graph.NoVM {
-			if lat, ok := prob.Env.Latency(i, s.OpenType); ok {
-				v[base+1] = 1
-				v[base+2] = placementCost(prob, s, i, lat)
-			}
-		}
-		if i < len(s.Unassigned) && s.Unassigned[i] > 0 {
-			v[base+3] = 1
-		}
-	}
-	return v
+	fs := NewState(prob)
+	fs.Reset(s)
+	return fs.AppendTo(make([]float64, 0, VectorLen(len(prob.Env.Templates))), s)
 }
 
-// placementCost computes the Eq. 2 edge weight for placing template t on
-// the open VM, without requiring an unassigned instance to exist (cost-of-X
-// is defined for every supported template, §4.4).
-func placementCost(prob *graph.Problem, s *graph.State, t int, lat time.Duration) float64 {
-	vt := prob.Env.VMTypes[s.OpenType]
-	completion := s.Wait + lat
-	delta := s.Acc.PeekAdd(t, completion) - s.Acc.Penalty()
-	c := vt.RunningCost(lat) + delta
-	if c > Infinite {
-		c = Infinite
+// State incrementally maintains the open-VM queue statistics Extract
+// derives from a vertex — per-template queue counts and the queue total —
+// so that a serving loop extracting features along a chain of states pays
+// O(k) per step (k = number of templates) instead of O(queue + k), with
+// zero allocations. Usage:
+//
+//	fs := NewState(prob)
+//	fs.Reset(state)                      // once, from an arbitrary vertex
+//	for !state.IsGoal() {
+//		buf = fs.AppendTo(buf[:0], state)
+//		... pick and apply an action ...
+//		fs.Apply(act)                    // O(1) per placement
+//	}
+//
+// A State is bound to the problem it was created for and is not safe for
+// concurrent use; the serving scratch pool hands each goroutine its own.
+type State struct {
+	prob   *graph.Problem
+	counts []int // open-VM queue count per template
+	total  int   // len of the open-VM queue
+	// lat and runCost snapshot the frozen Env tables in VM-type-major
+	// layout ([v*k+t]), so the per-step loop reads one contiguous row per
+	// open VM type with no sync.Once or bounds-check overhead and no
+	// repeated cents-per-hour conversion. lat < 0 marks an unrunnable
+	// (template, type) pair, as in the Env matrix.
+	lat     []time.Duration
+	runCost []float64
+}
+
+// NewState returns a State for the problem's template set.
+func NewState(prob *graph.Problem) *State {
+	k, nv := len(prob.Env.Templates), len(prob.Env.VMTypes)
+	fs := &State{
+		prob:    prob,
+		counts:  make([]int, k),
+		lat:     make([]time.Duration, nv*k),
+		runCost: make([]float64, nv*k),
 	}
-	return c
+	for v := 0; v < nv; v++ {
+		for t := 0; t < k; t++ {
+			lat, ok := prob.Env.Latency(t, v)
+			if !ok {
+				fs.lat[v*k+t] = -1
+				continue
+			}
+			fs.lat[v*k+t] = lat
+			fs.runCost[v*k+t] = prob.Env.VMTypes[v].RunningCost(lat)
+		}
+	}
+	return fs
+}
+
+// NumTemplates returns the size of the template set the state is bound to.
+func (fs *State) NumTemplates() int { return len(fs.counts) }
+
+// Reset recounts the queue statistics from the vertex s.
+func (fs *State) Reset(s *graph.State) {
+	for i := range fs.counts {
+		fs.counts[i] = 0
+	}
+	fs.total = len(s.OpenQueue)
+	for _, t := range s.OpenQueue {
+		fs.counts[t]++
+	}
+}
+
+// Apply updates the queue statistics for an action that was just applied to
+// the tracked state: a placement adds one query of its template to the open
+// queue, a start-up empties it.
+func (fs *State) Apply(a graph.Action) {
+	switch a.Kind {
+	case graph.Place:
+		fs.counts[a.Template]++
+		fs.total++
+	case graph.Startup:
+		for i := range fs.counts {
+			fs.counts[i] = 0
+		}
+		fs.total = 0
+	}
+}
+
+// AppendTo appends the feature vector of s to buf and returns the extended
+// slice, equivalent to Extract(prob, s) but using the incrementally
+// maintained queue statistics and the caller's buffer. s must be the state
+// the statistics track.
+func (fs *State) AppendTo(buf []float64, s *graph.State) []float64 {
+	buf = append(buf, s.Wait.Seconds())
+	k := len(fs.counts)
+	var lat []time.Duration
+	var runCost []float64
+	penalty := 0.0
+	if s.OpenType != graph.NoVM {
+		lat = fs.lat[s.OpenType*k : (s.OpenType+1)*k]
+		runCost = fs.runCost[s.OpenType*k : (s.OpenType+1)*k]
+		penalty = s.Acc.Penalty() // hoisted out of placementCost's delta
+	}
+	for i := 0; i < k; i++ {
+		proportion := 0.0
+		if fs.total > 0 {
+			proportion = float64(fs.counts[i]) / float64(fs.total)
+		}
+		supports, cost := 0.0, Infinite
+		if lat != nil && lat[i] >= 0 {
+			supports = 1
+			// The Eq. 2 edge weight, with the same floating-point
+			// grouping as graph.Problem.PlacementCost:
+			// runCost + (peek − penalty).
+			completion := s.Wait + lat[i]
+			delta := s.Acc.PeekAdd(i, completion) - penalty
+			if c := runCost[i] + delta; c < Infinite {
+				cost = c
+			}
+		}
+		have := 0.0
+		if i < len(s.Unassigned) && s.Unassigned[i] > 0 {
+			have = 1
+		}
+		buf = append(buf, proportion, supports, cost, have)
+	}
+	return buf
 }

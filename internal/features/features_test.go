@@ -1,6 +1,7 @@
 package features
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -165,5 +166,65 @@ func TestFeaturesSizeIndependent(t *testing.T) {
 		if vs[i] != vb[i] {
 			t.Fatalf("feature %d differs with workload size: %g vs %g", i, vs[i], vb[i])
 		}
+	}
+}
+
+// The incremental State must produce exactly Extract's vector at every step
+// of randomized walks — same floats, bit for bit — for every goal family,
+// including environments with unsupported (template, type) pairs.
+func TestIncrementalStateMatchesExtract(t *testing.T) {
+	env := schedule.NewEnv(workload.DefaultTemplates(4), cloud.DefaultVMTypes(2))
+	goals := map[string]sla.Goal{
+		"max":        sla.NewMaxLatency(10*time.Minute, env.Templates, sla.DefaultPenaltyRate),
+		"perquery":   sla.NewPerQuery(2, env.Templates, sla.DefaultPenaltyRate),
+		"average":    sla.NewAverage(8*time.Minute, env.Templates, sla.DefaultPenaltyRate),
+		"percentile": sla.NewPercentile(80, 8*time.Minute, env.Templates, sla.DefaultPenaltyRate),
+	}
+	for name, goal := range goals {
+		t.Run(name, func(t *testing.T) {
+			p := graph.NewProblem(env, goal)
+			p.NoSymmetryBreaking = true // as on the serving path
+			rng := rand.New(rand.NewSource(17))
+			fs := NewState(p)
+			var buf []float64
+			for trial := 0; trial < 15; trial++ {
+				w := workload.NewSampler(env.Templates, int64(trial)).Uniform(8)
+				s := p.Start(w)
+				fs.Reset(s) // mid-walk attach: Reset must recount any vertex
+				for !s.IsGoal() {
+					buf = fs.AppendTo(buf[:0], s)
+					ref := Extract(p, s)
+					if len(buf) != len(ref) {
+						t.Fatalf("vector length %d, Extract has %d", len(buf), len(ref))
+					}
+					for i := range ref {
+						if buf[i] != ref[i] {
+							t.Fatalf("feature %d: incremental %g, Extract %g", i, buf[i], ref[i])
+						}
+					}
+					acts := p.Actions(s)
+					a := acts[rng.Intn(len(acts))]
+					s = p.Apply(s, a)
+					fs.Apply(a)
+				}
+			}
+		})
+	}
+}
+
+// Steady-state incremental extraction must not allocate.
+func TestIncrementalStateAllocationFree(t *testing.T) {
+	p, env := setup(3, 2)
+	fs := NewState(p)
+	s := p.Start(wl(env, 0, 1, 2, 0))
+	s = p.Apply(s, graph.Action{Kind: graph.Startup, VMType: 0})
+	s = p.Apply(s, graph.Action{Kind: graph.Place, Template: 0})
+	fs.Reset(s)
+	buf := make([]float64, 0, VectorLen(3))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = fs.AppendTo(buf[:0], s)
+	})
+	if allocs > 0 {
+		t.Fatalf("AppendTo allocated %g times per run", allocs)
 	}
 }

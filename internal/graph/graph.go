@@ -239,6 +239,45 @@ func (p *Problem) Apply(s *State, a Action) *State {
 	}
 }
 
+// ApplyInPlace is Apply for states the caller exclusively owns: it mutates
+// s to the successor instead of allocating one, reusing the Unassigned and
+// OpenQueue backing arrays across the whole walk. The serving path threads
+// one pooled state through a schedule's entire action sequence this way —
+// O(1) amortized per action, zero allocations once the slices have grown —
+// whereas the search, which branches states, must use Apply. The successor
+// is identical to Apply's in every field; note that s.Acc is advanced via
+// Accumulator.Add, which allocates per placement unless s.Acc is a mutable
+// accumulator such as *sla.Tracker.
+func (p *Problem) ApplyInPlace(s *State, a Action) {
+	switch a.Kind {
+	case Startup:
+		if !s.CanStartup() {
+			panic("graph: invalid start-up edge")
+		}
+		if a.VMType < 0 || a.VMType >= len(p.Env.VMTypes) {
+			panic("graph: unknown VM type")
+		}
+		if len(s.OpenQueue) > 0 {
+			s.PrevFirst = s.OpenQueue[0]
+		}
+		s.OpenType = a.VMType
+		s.OpenQueue = s.OpenQueue[:0]
+		s.Wait = 0
+	case Place:
+		if !p.CanPlace(s, a.Template) {
+			panic("graph: invalid placement edge")
+		}
+		lat, _ := p.Env.Latency(a.Template, s.OpenType)
+		s.Unassigned[a.Template]--
+		s.OpenQueue = append(s.OpenQueue, a.Template)
+		completion := s.Wait + lat
+		s.Wait = completion
+		s.Acc = s.Acc.Add(a.Template, completion)
+	default:
+		panic("graph: unknown action kind")
+	}
+}
+
 // Actions returns the out-edges of s in a deterministic order: placement
 // edges by template ID, then start-up edges by VM type. A start-up edge for
 // type vt is offered only if vt can run at least one unassigned template

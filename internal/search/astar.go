@@ -122,6 +122,11 @@ type node struct {
 	parent *node
 	act    graph.Action
 	index  int // heap index; -1 when not in the heap
+	// remaining caches state.RemainingQueries() at node creation: the
+	// open-heap tie-break reads it on every comparison, and recomputing
+	// the sum over Unassigned there dominates heap maintenance in the
+	// training hot loop.
+	remaining int32
 }
 
 // openHeap is a min-heap on f, breaking ties toward deeper states (fewer
@@ -133,7 +138,7 @@ func (h openHeap) Less(i, j int) bool {
 	if h[i].f != h[j].f {
 		return h[i].f < h[j].f
 	}
-	return h[i].state.RemainingQueries() < h[j].state.RemainingQueries()
+	return h[i].remaining < h[j].remaining
 }
 func (h openHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
@@ -390,7 +395,7 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 	ar.sigBuf = s.prob.AppendSignature(ar.sigBuf[:0], start)
 	startID, _ := table.Intern(ar.sigBuf)
 	root := ar.newNode()
-	*root = node{state: start, id: startID, index: -1}
+	*root = node{state: start, id: startID, index: -1, remaining: int32(start.RemainingQueries())}
 	root.f = s.heuristic(start, ar.sigBuf, opts.Reuse)
 
 	ar.best = append(ar.best, root)
@@ -467,8 +472,12 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 			if f >= incumbentCost-eps {
 				continue // bound: cannot beat the incumbent
 			}
+			remaining := n.remaining
+			if a.Kind == graph.Place {
+				remaining-- // a placement assigns exactly one query
+			}
 			cn := ar.newNode()
-			*cn = node{state: child, id: id, g: g, f: f, parent: n, act: a, index: -1}
+			*cn = node{state: child, id: id, g: g, f: f, parent: n, act: a, index: -1, remaining: remaining}
 			ar.best[id] = cn
 			heap.Push(open, cn)
 		}

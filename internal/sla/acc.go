@@ -39,14 +39,38 @@ func NewAccumulator(g Goal) Accumulator {
 	}
 	switch g.Class() {
 	case ClassDecomposable:
-		return decompAcc{goal: g}
+		one, _ := g.(SingleQueryPenalty)
+		return decompAcc{goal: g, one: one}
 	case ClassMeanBased:
-		return meanAcc{goal: g}
+		mean, _ := g.(MeanPenalty)
+		return meanAcc{goal: g, mean: mean}
 	case ClassDistribution:
 		return distAcc{goal: g}
 	default:
 		panic("sla: unknown goal class")
 	}
+}
+
+// penaltyOne evaluates a goal's penalty for one query outcome, through the
+// allocation-free SingleQueryPenalty fast path when the goal provides it.
+func penaltyOne(goal Goal, one SingleQueryPenalty, templateID int, latency time.Duration) float64 {
+	if one != nil {
+		return one.PenaltyOne(templateID, latency)
+	}
+	return goal.Penalty([]QueryPerf{{TemplateID: templateID, Latency: latency}})
+}
+
+// penaltyMean evaluates a goal's penalty for a workload with the given
+// count and latency sum, through the allocation-free MeanPenalty fast path
+// when the goal provides it.
+func penaltyMean(goal Goal, mean MeanPenalty, n int, sum time.Duration) float64 {
+	if n == 0 {
+		return 0
+	}
+	if mean != nil {
+		return mean.PenaltyMean(sum / time.Duration(n))
+	}
+	return goal.Penalty([]QueryPerf{{TemplateID: 0, Latency: sum / time.Duration(n)}})
 }
 
 // decompAcc handles decomposable goals (PerQuery, Max): the penalty is a sum
@@ -55,18 +79,19 @@ func NewAccumulator(g Goal) Accumulator {
 // penalties).
 type decompAcc struct {
 	goal    Goal
+	one     SingleQueryPenalty // non-nil fast path, resolved once
 	penalty float64
 }
 
 func (a decompAcc) Penalty() float64 { return a.penalty }
 
 func (a decompAcc) Add(templateID int, latency time.Duration) Accumulator {
-	a.penalty += a.goal.Penalty([]QueryPerf{{TemplateID: templateID, Latency: latency}})
+	a.penalty += penaltyOne(a.goal, a.one, templateID, latency)
 	return a
 }
 
 func (a decompAcc) PeekAdd(templateID int, latency time.Duration) float64 {
-	return a.penalty + a.goal.Penalty([]QueryPerf{{TemplateID: templateID, Latency: latency}})
+	return a.penalty + penaltyOne(a.goal, a.one, templateID, latency)
 }
 
 func (a decompAcc) AppendSignature(buf []byte) []byte { return buf }
@@ -75,16 +100,13 @@ func (a decompAcc) AppendSignature(buf []byte) []byte { return buf }
 // and sum of latencies.
 type meanAcc struct {
 	goal Goal
+	mean MeanPenalty // non-nil fast path, resolved once
 	n    int
 	sum  time.Duration
 }
 
 func (a meanAcc) Penalty() float64 {
-	if a.n == 0 {
-		return 0
-	}
-	perf := []QueryPerf{{TemplateID: 0, Latency: a.sum / time.Duration(a.n)}}
-	return a.goal.Penalty(perf)
+	return penaltyMean(a.goal, a.mean, a.n, a.sum)
 }
 
 func (a meanAcc) Add(templateID int, latency time.Duration) Accumulator {
@@ -94,8 +116,7 @@ func (a meanAcc) Add(templateID int, latency time.Duration) Accumulator {
 }
 
 func (a meanAcc) PeekAdd(templateID int, latency time.Duration) float64 {
-	perf := []QueryPerf{{TemplateID: 0, Latency: (a.sum + latency) / time.Duration(a.n+1)}}
-	return a.goal.Penalty(perf)
+	return penaltyMean(a.goal, a.mean, a.n+1, a.sum+latency)
 }
 
 func (a meanAcc) AppendSignature(buf []byte) []byte {

@@ -75,6 +75,26 @@ type Goal interface {
 	Shift(d time.Duration) Goal
 }
 
+// SingleQueryPenalty is implemented by goals whose penalty decomposes into
+// independent per-query penalties (ClassDecomposable). PenaltyOne returns
+// the penalty of one query outcome without the []QueryPerf allocation of
+// Penalty; the serving hot path evaluates many hypothetical placements per
+// scheduling step through this fast path.
+type SingleQueryPenalty interface {
+	// PenaltyOne returns Penalty([]QueryPerf{{TemplateID: templateID,
+	// Latency: latency}}) without allocating.
+	PenaltyOne(templateID int, latency time.Duration) float64
+}
+
+// MeanPenalty is implemented by goals whose penalty depends only on the
+// mean latency (ClassMeanBased). PenaltyMean evaluates the penalty of a
+// workload with the given mean without materializing per-query outcomes.
+type MeanPenalty interface {
+	// PenaltyMean returns the penalty of a workload whose mean latency is
+	// mean.
+	PenaltyMean(mean time.Duration) float64
+}
+
 // overage returns how far latency exceeds deadline, or zero.
 func overage(latency, deadline time.Duration) time.Duration {
 	if latency > deadline {

@@ -51,6 +51,11 @@ func (g MaxLatency) Penalty(perf []QueryPerf) float64 {
 	return total
 }
 
+// PenaltyOne implements SingleQueryPenalty.
+func (g MaxLatency) PenaltyOne(templateID int, latency time.Duration) float64 {
+	return ratePenalty(overage(latency, g.Deadline), g.Rate)
+}
+
 // Monotonic implements Goal. Appending a query to the open VM can only add
 // violations (§4.3).
 func (g MaxLatency) Monotonic() bool { return true }
@@ -132,6 +137,11 @@ func (g PerQuery) Penalty(perf []QueryPerf) float64 {
 		total += ratePenalty(overage(p.Latency, g.Deadline(p.TemplateID)), g.Rate)
 	}
 	return total
+}
+
+// PenaltyOne implements SingleQueryPenalty.
+func (g PerQuery) PenaltyOne(templateID int, latency time.Duration) float64 {
+	return ratePenalty(overage(latency, g.Deadline(templateID)), g.Rate)
 }
 
 // Monotonic implements Goal.
@@ -224,6 +234,11 @@ func (g Average) Penalty(perf []QueryPerf) float64 {
 	}
 	avg := sum / time.Duration(len(perf))
 	return ratePenalty(overage(avg, g.Deadline), g.Rate)
+}
+
+// PenaltyMean implements MeanPenalty.
+func (g Average) PenaltyMean(mean time.Duration) float64 {
+	return ratePenalty(overage(mean, g.Deadline), g.Rate)
 }
 
 // Monotonic implements Goal: adding a short query can lower the mean, so

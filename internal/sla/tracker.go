@@ -1,0 +1,200 @@
+package sla
+
+import (
+	"sort"
+	"time"
+)
+
+// Tracker is the mutable counterpart of Accumulator for single-owner
+// serving loops. It implements Accumulator, but Add updates the receiver in
+// place and returns it, so a scheduling loop that threads one Tracker
+// through a sequence of placements performs zero allocations in steady
+// state (internal buffers are retained across Reset). The penalty values it
+// produces are bit-identical to those of the immutable accumulator for the
+// same goal and placement sequence.
+//
+// The immutability contract of Accumulator is deliberately traded away:
+// a Tracker must be owned by exactly one schedule under construction, and
+// snapshots of earlier accumulator values must not be retained. The A*
+// search, which branches states and so genuinely needs immutable
+// accumulators, keeps using NewAccumulator; the tree-guided serving path,
+// which walks a single line of states, uses NewTracker.
+type Tracker struct {
+	goal  Goal
+	kind  Class
+	pct   Percentile // valid when isPct
+	one   SingleQueryPenalty
+	mean  MeanPenalty
+	isPct bool
+
+	// ClassDecomposable state.
+	penalty float64
+	// ClassMeanBased state.
+	n   int
+	sum time.Duration
+	// Percentile state (mirrors pctAcc).
+	below int
+	above []time.Duration // latencies > deadline, sorted ascending; owned
+	// Generic ClassDistribution state (mirrors distAcc).
+	lats []time.Duration // sorted ascending; owned
+}
+
+// NewTracker returns an empty Tracker for the goal.
+func NewTracker(g Goal) *Tracker {
+	tr := &Tracker{goal: g, kind: g.Class()}
+	if pct, ok := g.(Percentile); ok {
+		tr.pct = pct
+		tr.isPct = true
+	}
+	tr.one, _ = g.(SingleQueryPenalty)
+	tr.mean, _ = g.(MeanPenalty)
+	return tr
+}
+
+// Reset empties the tracker for a fresh schedule, retaining buffer capacity.
+func (tr *Tracker) Reset() {
+	tr.penalty = 0
+	tr.n, tr.sum = 0, 0
+	tr.below = 0
+	tr.above = tr.above[:0]
+	tr.lats = tr.lats[:0]
+}
+
+// rank returns the 1-based nearest-rank position of the percentile in a
+// workload of size n (as in pctAcc.rank).
+func (tr *Tracker) rank(n int) int {
+	rank := int((tr.pct.Percent/100)*float64(n) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank
+}
+
+// Penalty implements Accumulator.
+func (tr *Tracker) Penalty() float64 {
+	switch {
+	case tr.isPct:
+		n := tr.below + len(tr.above)
+		if n == 0 {
+			return 0
+		}
+		rank := tr.rank(n)
+		if rank <= tr.below {
+			return 0
+		}
+		return ratePenalty(tr.above[rank-tr.below-1]-tr.pct.Deadline, tr.pct.Rate)
+	case tr.kind == ClassDecomposable:
+		return tr.penalty
+	case tr.kind == ClassMeanBased:
+		return penaltyMean(tr.goal, tr.mean, tr.n, tr.sum)
+	default:
+		if len(tr.lats) == 0 {
+			return 0
+		}
+		perf := make([]QueryPerf, len(tr.lats))
+		for i, l := range tr.lats {
+			perf[i] = QueryPerf{Latency: l}
+		}
+		return tr.goal.Penalty(perf)
+	}
+}
+
+// Add implements Accumulator by mutating the receiver in place and
+// returning it.
+func (tr *Tracker) Add(templateID int, latency time.Duration) Accumulator {
+	switch {
+	case tr.isPct:
+		if latency <= tr.pct.Deadline {
+			tr.below++
+			return tr
+		}
+		tr.above = insertSorted(tr.above, latency)
+	case tr.kind == ClassDecomposable:
+		tr.penalty += penaltyOne(tr.goal, tr.one, templateID, latency)
+	case tr.kind == ClassMeanBased:
+		tr.n++
+		tr.sum += latency
+	default:
+		tr.lats = insertSorted(tr.lats, latency)
+	}
+	return tr
+}
+
+// insertSorted inserts v into the ascending slice in place, growing only
+// when capacity is exhausted.
+func insertSorted(s []time.Duration, v time.Duration) []time.Duration {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// PeekAdd implements Accumulator.
+func (tr *Tracker) PeekAdd(templateID int, latency time.Duration) float64 {
+	switch {
+	case tr.isPct:
+		// Mirrors pctAcc.PeekAdd.
+		n := tr.below + len(tr.above) + 1
+		rank := tr.rank(n)
+		below := tr.below
+		if latency <= tr.pct.Deadline {
+			below++
+			if rank <= below {
+				return 0
+			}
+			return ratePenalty(tr.above[rank-below-1]-tr.pct.Deadline, tr.pct.Rate)
+		}
+		if rank <= below {
+			return 0
+		}
+		idx := sort.Search(len(tr.above), func(i int) bool { return tr.above[i] >= latency })
+		p := rank - below - 1
+		var at time.Duration
+		switch {
+		case p < idx:
+			at = tr.above[p]
+		case p == idx:
+			at = latency
+		default:
+			at = tr.above[p-1]
+		}
+		return ratePenalty(at-tr.pct.Deadline, tr.pct.Rate)
+	case tr.kind == ClassDecomposable:
+		return tr.penalty + penaltyOne(tr.goal, tr.one, templateID, latency)
+	case tr.kind == ClassMeanBased:
+		return penaltyMean(tr.goal, tr.mean, tr.n+1, tr.sum+latency)
+	default:
+		// Mirrors distAcc.PeekAdd's generic fallback: materialize the
+		// hypothetical multiset. Non-Percentile distribution goals are
+		// not on any hot path.
+		perf := make([]QueryPerf, 0, len(tr.lats)+1)
+		for _, l := range tr.lats {
+			perf = append(perf, QueryPerf{Latency: l})
+		}
+		perf = append(perf, QueryPerf{Latency: latency}) // distAcc drops template IDs
+		return tr.goal.Penalty(perf)
+	}
+}
+
+// AppendSignature implements Accumulator with the same encoding as the
+// immutable accumulator for the goal, so a serving state and a search state
+// that agree otherwise produce identical signatures.
+func (tr *Tracker) AppendSignature(buf []byte) []byte {
+	switch {
+	case tr.isPct:
+		acc := pctAcc{goal: tr.pct, below: tr.below, above: tr.above}
+		return acc.AppendSignature(buf)
+	case tr.kind == ClassDecomposable:
+		return buf
+	case tr.kind == ClassMeanBased:
+		acc := meanAcc{goal: tr.goal, mean: tr.mean, n: tr.n, sum: tr.sum}
+		return acc.AppendSignature(buf)
+	default:
+		acc := distAcc{goal: tr.goal, lats: tr.lats}
+		return acc.AppendSignature(buf)
+	}
+}

@@ -1,0 +1,115 @@
+package sla
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"wisedb/internal/workload"
+)
+
+// trackerGoals returns one goal per accumulator class.
+func trackerGoals() map[string]Goal {
+	templates := workload.DefaultTemplates(4)
+	return map[string]Goal{
+		"max":        NewMaxLatency(5*time.Minute, templates, DefaultPenaltyRate),
+		"perquery":   NewPerQuery(1.5, templates, DefaultPenaltyRate),
+		"average":    NewAverage(4*time.Minute, templates, DefaultPenaltyRate),
+		"percentile": NewPercentile(75, 4*time.Minute, templates, DefaultPenaltyRate),
+	}
+}
+
+// A Tracker must be observationally identical to the immutable accumulator
+// for the same goal over any placement sequence: same Penalty, same PeekAdd
+// for arbitrary probes, same signature bytes — across Reset reuse.
+func TestTrackerMatchesAccumulator(t *testing.T) {
+	for name, goal := range trackerGoals() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			tr := NewTracker(goal)
+			for round := 0; round < 5; round++ {
+				tr.Reset()
+				acc := NewAccumulator(goal)
+				var trAcc Accumulator = tr
+				for step := 0; step < 40; step++ {
+					tpl := rng.Intn(4)
+					lat := time.Duration(rng.Intn(600)) * time.Second
+					// Probe before mutating: PeekAdd must agree.
+					if got, want := trAcc.PeekAdd(tpl, lat), acc.PeekAdd(tpl, lat); got != want {
+						t.Fatalf("round %d step %d: PeekAdd(%d,%s) = %g, accumulator says %g", round, step, tpl, lat, got, want)
+					}
+					trAcc = trAcc.Add(tpl, lat)
+					acc = acc.Add(tpl, lat)
+					if got, want := trAcc.Penalty(), acc.Penalty(); got != want {
+						t.Fatalf("round %d step %d: Penalty = %g, accumulator says %g", round, step, got, want)
+					}
+					got := string(trAcc.AppendSignature(nil))
+					want := string(acc.AppendSignature(nil))
+					if got != want {
+						t.Fatalf("round %d step %d: signature %q, accumulator %q", round, step, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Steady-state Tracker use must not allocate for goals on the serving hot
+// path (decomposable and mean-based classes; the percentile tracker only
+// grows its violation buffer).
+func TestTrackerAllocationFree(t *testing.T) {
+	for _, name := range []string{"max", "perquery", "average"} {
+		goal := trackerGoals()[name]
+		t.Run(name, func(t *testing.T) {
+			tr := NewTracker(goal)
+			allocs := testing.AllocsPerRun(50, func() {
+				tr.Reset()
+				var acc Accumulator = tr
+				for i := 0; i < 20; i++ {
+					acc.PeekAdd(i%4, time.Duration(i)*time.Minute)
+					acc = acc.Add(i%4, time.Duration(i)*time.Minute)
+					acc.Penalty()
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("Tracker allocated %g times per run", allocs)
+			}
+		})
+	}
+}
+
+// The decomposable fast path must agree with the slice-based Penalty.
+func TestPenaltyOneMatchesPenalty(t *testing.T) {
+	templates := workload.DefaultTemplates(4)
+	goals := []interface {
+		Goal
+		SingleQueryPenalty
+	}{
+		NewMaxLatency(5*time.Minute, templates, DefaultPenaltyRate),
+		NewPerQuery(1.5, templates, DefaultPenaltyRate),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range goals {
+		for i := 0; i < 200; i++ {
+			tpl := rng.Intn(4)
+			lat := time.Duration(rng.Intn(1200)) * time.Second
+			got := g.PenaltyOne(tpl, lat)
+			want := g.Penalty([]QueryPerf{{TemplateID: tpl, Latency: lat}})
+			if got != want {
+				t.Fatalf("%s: PenaltyOne(%d, %s) = %g, Penalty = %g", g.Name(), tpl, lat, got, want)
+			}
+		}
+	}
+}
+
+// The mean fast path must agree with the slice-based Penalty.
+func TestPenaltyMeanMatchesPenalty(t *testing.T) {
+	g := NewAverage(4*time.Minute, workload.DefaultTemplates(4), DefaultPenaltyRate)
+	for _, mean := range []time.Duration{0, time.Minute, 4 * time.Minute, 10 * time.Minute} {
+		got := g.PenaltyMean(mean)
+		want := g.Penalty([]QueryPerf{{Latency: mean}})
+		if got != want {
+			t.Fatalf("PenaltyMean(%s) = %g, Penalty = %g", mean, got, want)
+		}
+	}
+}
