@@ -15,18 +15,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"wisedb/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the real main so that profile-flushing defers execute before
+// the process exits.
+func run() int {
 	quick := flag.Bool("quick", false, "reduced workload and training scale")
 	seed := flag.Int64("seed", 1, "random seed for all samplers")
 	parallelism := flag.Int("parallelism", 0, "training worker goroutines (0 = all cores); models are identical for every value")
+	expansionCap := flag.Int("expansion-cap", experiments.DefaultExpansionCap,
+		"max expansions per exact-optimum comparator search; capped trials fall back to the best known bound and are reported in the tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := experiments.DefaultConfig(os.Stdout)
 	if *quick {
@@ -34,6 +72,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallelism
+	cfg.ExpansionCap = *expansionCap
 
 	figs := map[string]func() error{
 		"fig9":  wrap(cfg.Fig9),
@@ -55,7 +94,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if len(args) == 1 && args[0] == "all" {
 		args = nil
@@ -67,19 +106,20 @@ func main() {
 		})
 	}
 	for _, name := range args {
-		run, ok := figs[name]
+		fig, ok := figs[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			usage()
-			os.Exit(2)
+			return 2
 		}
 		start := time.Now()
-		if err := run(); err != nil {
+		if err := fig(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 func wrap(f func() (*experiments.Table, error)) func() error {
@@ -96,7 +136,7 @@ func figNum(name string) int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-parallelism P] all | figN [figM ...]
+	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-parallelism P] [-expansion-cap N] [-cpuprofile F] [-memprofile F] all | figN [figM ...]
 
 Regenerates the evaluation figures of the WiSeDB paper (VLDB 2016, §7):
   fig9   optimality across performance metrics      fig16  adaptive re-training time

@@ -51,16 +51,24 @@ func (m *Model) adapt(ctx context.Context, goal sla.Goal, keep bool) (*Model, er
 		return nil, fmt.Errorf("core: adapt: %w", err)
 	}
 
+	// Like Train, adaptation shares a per-call transposition cache across
+	// its worker pool: the new goal changes every suffix optimum, so the
+	// cache never outlives the call.
+	var cache *search.TranspositionCache
+	if !m.TrainingConfig.DisableSearchCache && goal.Monotonic() {
+		cache = search.NewTranspositionCache()
+	}
 	solutions := make([]*search.Result, len(m.samples))
-	err = forEach(ctx, m.TrainingConfig.Parallelism, len(m.samples), func(i int) error {
-		s := m.samples[i]
-		res, err := searcher.Solve(s.w, search.Options{Reuse: s.reuse, KeepClosed: keep})
-		if err != nil {
-			return fmt.Errorf("core: adapt sample %d: %w", i, err)
-		}
-		solutions[i] = res
-		return nil
-	})
+	err = solveSamples(ctx, m.TrainingConfig.Parallelism, len(m.samples), cache,
+		func(i int, cache *search.TranspositionCache, rec *search.PendingSuffixes) error {
+			s := m.samples[i]
+			res, err := searcher.Solve(s.w, search.Options{Reuse: s.reuse, KeepClosed: keep, Cache: cache, Record: rec})
+			if err != nil {
+				return fmt.Errorf("core: adapt sample %d: %w", i, err)
+			}
+			solutions[i] = res
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -69,22 +77,26 @@ func (m *Model) adapt(ctx context.Context, goal sla.Goal, keep bool) (*Model, er
 	ds := &dt.Dataset{FeatureNames: features.Names(len(m.env.Templates)), NumLabels: numLabels}
 	fs := features.NewState(prob)
 	var samples []trainSample
+	cacheHits, cacheMisses := 0, 0
 	for i, res := range solutions {
 		addPathToDataset(ds, fs, res.Path)
+		cacheHits += res.CacheHits
+		cacheMisses += res.CacheMisses
 		if keep {
 			samples = append(samples, trainSample{w: m.samples[i].w, reuse: search.ReuseFrom(res)})
 		}
 	}
 	tree := dt.Train(ds, m.TrainingConfig.Tree)
 	adapted := &Model{
-		Goal:           goal,
-		Tree:           tree,
-		TrainingTime:   time.Since(start),
-		TrainingRows:   ds.Len(),
-		TrainingConfig: m.TrainingConfig,
-		env:            m.env,
-		prob:           runtimeProblem(m.env, goal),
-		samples:        samples,
+		Goal:              goal,
+		Tree:              tree,
+		TrainingTime:      time.Since(start),
+		TrainingRows:      ds.Len(),
+		TrainingConfig:    m.TrainingConfig,
+		TrainingCacheHits: cacheHits, TrainingCacheMisses: cacheMisses,
+		env:     m.env,
+		prob:    runtimeProblem(m.env, goal),
+		samples: samples,
 	}
 	adapted.servingTables() // compile the serving form at adapt time
 	return adapted, nil

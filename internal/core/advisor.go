@@ -53,6 +53,12 @@ type TrainConfig struct {
 	// KeepTrainingData retains each sample's workload and search data on
 	// the model so that adaptive modeling (§5) can re-train cheaply.
 	KeepTrainingData bool
+	// DisableSearchCache turns off the cross-sample transposition cache
+	// that Train/Adapt share across their worker pool (see
+	// search.TranspositionCache). The cache applies to monotonic goals
+	// only and never changes solution costs; disabling it is for
+	// measurement and debugging.
+	DisableSearchCache bool
 }
 
 // normalized returns the config with zero values replaced by defaults.
@@ -176,6 +182,10 @@ type Model struct {
 	// scheduling re-trains augmented models at the same scale unless
 	// overridden.
 	TrainingConfig TrainConfig
+	// TrainingCacheHits and TrainingCacheMisses aggregate the
+	// transposition-cache lookups of the sample searches that built this
+	// model (both zero when the cache was disabled or inapplicable).
+	TrainingCacheHits, TrainingCacheMisses int
 
 	env     *schedule.Env
 	prob    *graph.Problem
@@ -225,19 +235,29 @@ func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, erro
 		return nil, fmt.Errorf("core: training: %w", err)
 	}
 
+	// The transposition cache is scoped to this call: suffix optima are
+	// goal-specific, and a per-call cache keeps sequences of Train/Adapt
+	// calls deterministic regardless of what ran before them.
+	var cache *search.TranspositionCache
+	if !a.cfg.DisableSearchCache && goal.Monotonic() {
+		cache = search.NewTranspositionCache()
+	}
 	solutions := make([]sampleSolution, a.cfg.NumSamples)
-	err = forEach(ctx, a.cfg.Parallelism, a.cfg.NumSamples, func(i int) error {
-		w := workload.NewSampler(a.env.Templates, deriveSeed(a.cfg.Seed, i)).Uniform(a.cfg.SampleSize)
-		res, err := searcher.Solve(w, search.Options{
-			MaxExpansions: a.cfg.MaxExpansions,
-			KeepClosed:    a.cfg.KeepTrainingData,
+	err = solveSamples(ctx, a.cfg.Parallelism, a.cfg.NumSamples, cache,
+		func(i int, cache *search.TranspositionCache, rec *search.PendingSuffixes) error {
+			w := workload.NewSampler(a.env.Templates, deriveSeed(a.cfg.Seed, i)).Uniform(a.cfg.SampleSize)
+			res, err := searcher.Solve(w, search.Options{
+				MaxExpansions: a.cfg.MaxExpansions,
+				KeepClosed:    a.cfg.KeepTrainingData,
+				Cache:         cache,
+				Record:        rec,
+			})
+			if err != nil {
+				return fmt.Errorf("core: training sample %d: %w", i, err)
+			}
+			solutions[i] = sampleSolution{w: w, res: res}
+			return nil
 		})
-		if err != nil {
-			return fmt.Errorf("core: training sample %d: %w", i, err)
-		}
-		solutions[i] = sampleSolution{w: w, res: res}
-		return nil
-	})
 	if err != nil {
 		return nil, err
 	}
@@ -246,22 +266,26 @@ func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, erro
 	ds := &dt.Dataset{FeatureNames: features.Names(len(a.env.Templates)), NumLabels: numLabels}
 	fs := features.NewState(prob)
 	var samples []trainSample
+	cacheHits, cacheMisses := 0, 0
 	for _, sol := range solutions {
 		addPathToDataset(ds, fs, sol.res.Path)
+		cacheHits += sol.res.CacheHits
+		cacheMisses += sol.res.CacheMisses
 		if a.cfg.KeepTrainingData {
 			samples = append(samples, trainSample{w: sol.w, reuse: search.ReuseFrom(sol.res)})
 		}
 	}
 	tree := dt.Train(ds, a.cfg.Tree)
 	m := &Model{
-		Goal:           goal,
-		Tree:           tree,
-		TrainingTime:   time.Since(start),
-		TrainingRows:   ds.Len(),
-		TrainingConfig: a.cfg,
-		env:            a.env,
-		prob:           runtimeProblem(a.env, goal),
-		samples:        samples,
+		Goal:              goal,
+		Tree:              tree,
+		TrainingTime:      time.Since(start),
+		TrainingRows:      ds.Len(),
+		TrainingConfig:    a.cfg,
+		TrainingCacheHits: cacheHits, TrainingCacheMisses: cacheMisses,
+		env:     a.env,
+		prob:    runtimeProblem(a.env, goal),
+		samples: samples,
 	}
 	m.servingTables() // compile the serving form at train time
 	return m, nil

@@ -32,10 +32,16 @@ func trainWithParallelism(t *testing.T, parallelism int) *Model {
 }
 
 // Training must be bit-identical for every worker count: per-sample
-// sub-seeds make sample i the same workload no matter which worker draws it,
-// and results fold into the training set in sample order.
+// sub-seeds make sample i the same workload no matter which worker draws
+// it, results fold into the training set in sample order, and the
+// transposition cache (enabled by default here) publishes suffixes only at
+// generation barriers, so which searches hit the cache is also independent
+// of scheduling — pinned by comparing the hit counters, not just the trees.
 func TestTrainParallelDeterminism(t *testing.T) {
 	base := trainWithParallelism(t, 1)
+	if base.TrainingCacheHits == 0 {
+		t.Error("sequential training recorded no transposition-cache hits; cross-sample reuse is broken")
+	}
 	for _, p := range []int{4, runtime.GOMAXPROCS(0)} {
 		m := trainWithParallelism(t, p)
 		if m.TrainingRows != base.TrainingRows {
@@ -44,6 +50,38 @@ func TestTrainParallelDeterminism(t *testing.T) {
 		if got, want := m.Dump(), base.Dump(); got != want {
 			t.Errorf("parallelism %d: tree differs from sequential run\nsequential:\n%s\nparallel:\n%s", p, want, got)
 		}
+		if m.TrainingCacheHits != base.TrainingCacheHits || m.TrainingCacheMisses != base.TrainingCacheMisses {
+			t.Errorf("parallelism %d: cache counters (%d hits, %d misses) differ from sequential (%d, %d)",
+				p, m.TrainingCacheHits, m.TrainingCacheMisses, base.TrainingCacheHits, base.TrainingCacheMisses)
+		}
+	}
+}
+
+// Disabling the transposition cache must still train successfully (it may
+// pick different equal-cost optima, so only behavior, not tree identity, is
+// compared) and must record zero cache traffic.
+func TestTrainWithoutSearchCache(t *testing.T) {
+	env := schedule.NewEnv(workload.DefaultTemplates(5), cloud.DefaultVMTypes(2))
+	cfg := DefaultTrainConfig()
+	cfg.NumSamples = 40
+	cfg.SampleSize = 6
+	cfg.Seed = 42
+	cfg.DisableSearchCache = true
+	adv := MustNewAdvisor(env, cfg)
+	m, err := adv.Train(sla.NewMaxLatency(15*time.Minute, env.Templates, sla.DefaultPenaltyRate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainingCacheHits != 0 || m.TrainingCacheMisses != 0 {
+		t.Fatalf("cache disabled but counters report (%d, %d)", m.TrainingCacheHits, m.TrainingCacheMisses)
+	}
+	w := workload.NewSampler(env.Templates, 7).Uniform(30)
+	sched, err := m.ScheduleBatch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(env, w); err != nil {
+		t.Fatal(err)
 	}
 }
 

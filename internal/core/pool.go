@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"wisedb/internal/search"
 )
 
 // forEach runs fn(i) for every i in [0, n) across a pool of worker
@@ -76,6 +78,50 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// searchCacheGeneration is the epoch size of the transposition-cache
+// barrier: sample searches run in generations of this many indices, and a
+// generation's solved suffixes are committed to the shared cache only at
+// the barrier after it completes. Every search therefore observes exactly
+// the commits of strictly earlier generations — a pure function of the
+// training inputs — so trained models stay bit-identical at any
+// Parallelism even though equal-cost optima may be stitched from cached
+// suffixes. The constant is deliberately independent of the worker count.
+const searchCacheGeneration = 32
+
+// solveSamples runs run(i) for every sample index on the worker pool,
+// inserting deterministic commit barriers when a transposition cache is in
+// play. With cache == nil it degenerates to one forEach over all indices.
+func solveSamples(ctx context.Context, workers, n int, cache *search.TranspositionCache,
+	run func(i int, cache *search.TranspositionCache, rec *search.PendingSuffixes) error) error {
+	if cache == nil {
+		return forEach(ctx, workers, n, func(i int) error { return run(i, nil, nil) })
+	}
+	gen := searchCacheGeneration
+	if gen > n {
+		gen = n
+	}
+	pending := make([]search.PendingSuffixes, gen)
+	for base := 0; base < n; base += gen {
+		g := gen
+		if base+g > n {
+			g = n - base
+		}
+		first := base
+		if err := forEach(ctx, workers, g, func(j int) error {
+			return run(first+j, cache, &pending[j])
+		}); err != nil {
+			return err
+		}
+		// Commit order is irrelevant (the merge is commutative); doing it
+		// at the barrier, single-threaded, is what keeps the visible cache
+		// state independent of goroutine scheduling.
+		for j := 0; j < g; j++ {
+			cache.Commit(&pending[j])
+		}
+	}
+	return nil
 }
 
 // deriveSeed mixes a per-sample sub-seed out of the training seed and the

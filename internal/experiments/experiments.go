@@ -35,6 +35,11 @@ type Config struct {
 	// Trained models are identical for every value, so timings (Figs.
 	// 14-16) are the only figures it affects.
 	Parallelism int
+	// ExpansionCap bounds the exact searches behind the "Optimal"
+	// comparators (Figs. 9-13); 0 selects DefaultExpansionCap. Trials
+	// whose optimality proof the cap interrupts fall back to the best
+	// known upper bound and are counted in the tables' "capped" column.
+	ExpansionCap int
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
 
@@ -186,16 +191,25 @@ func (c *Config) model(env *schedule.Env, goal sla.Goal) (*core.Model, error) {
 	return m, nil
 }
 
-// optimalExpansionCap bounds the exact search used as the "Optimal"
-// comparator. Percentile goals at 30 queries can exceed it; the comparator
-// then falls back to the best known upper bound and the figure notes it.
-const optimalExpansionCap = 600_000
+// DefaultExpansionCap is the default bound on the exact search used as the
+// "Optimal" comparator. Percentile goals at 30 queries can exceed it; the
+// comparator then falls back to the best known upper bound and the trial
+// counts as capped.
+const DefaultExpansionCap = 600_000
+
+// expansionCap returns the configured comparator search bound.
+func (c *Config) expansionCap() int {
+	if c.ExpansionCap > 0 {
+		return c.ExpansionCap
+	}
+	return DefaultExpansionCap
+}
 
 // optimalCost returns the minimum schedule cost for the workload, seeding
 // branch-and-bound with the best heuristic and model schedules. proven is
 // false when the expansion cap interrupted the proof; the returned cost is
 // then the best known upper bound.
-func optimalCost(env *schedule.Env, goal sla.Goal, w *workload.Workload, extraSeeds ...float64) (cost float64, proven bool, err error) {
+func (c *Config) optimalCost(env *schedule.Env, goal sla.Goal, w *workload.Workload, extraSeeds ...float64) (cost float64, proven bool, err error) {
 	seed := bestSeedCost(env, goal, w)
 	for _, s := range extraSeeds {
 		if s < seed {
@@ -206,7 +220,7 @@ func optimalCost(env *schedule.Env, goal sla.Goal, w *workload.Workload, extraSe
 	if err != nil {
 		return 0, false, err
 	}
-	res, err := searcher.Solve(w, search.Options{MaxExpansions: optimalExpansionCap, IncumbentCost: seed})
+	res, err := searcher.Solve(w, search.Options{MaxExpansions: c.expansionCap(), IncumbentCost: seed})
 	switch {
 	case err == search.ErrSeedIsOptimal:
 		return seed, true, nil

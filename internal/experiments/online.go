@@ -43,7 +43,7 @@ func (c *Config) Fig18() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			opt, err := clairvoyantCost(s.env, g.goal, w)
+			opt, err := c.clairvoyantCost(s.env, g.goal, w)
 			if err != nil {
 				return nil, err
 			}
@@ -70,12 +70,12 @@ func onlineRetrain(c *Config) core.TrainConfig {
 // tightened by the VM start-up delay (so the plan leaves slack for it, as a
 // clairvoyant would) and replayed respecting arrival times and the delay
 // under the original goal.
-func clairvoyantCost(env *schedule.Env, goal sla.Goal, w *workload.Workload) (float64, error) {
+func (c *Config) clairvoyantCost(env *schedule.Env, goal sla.Goal, w *workload.Workload) (float64, error) {
 	searcher, err := search.New(graph.NewProblem(env, delayAwareGoal(goal, env.VMTypes[0].StartupDelay)))
 	if err != nil {
 		return 0, err
 	}
-	res, err := searcher.Solve(w, search.Options{MaxExpansions: optimalExpansionCap})
+	res, err := searcher.Solve(w, search.Options{MaxExpansions: c.expansionCap()})
 	var sched *schedule.Schedule
 	switch {
 	case err == nil:

@@ -46,7 +46,7 @@ func (c *Config) Fig20() (*Table, error) {
 					return nil, err
 				}
 				mc := sched.Cost(s.env, g.goal)
-				oc, _, err := optimalCost(s.env, g.goal, w, mc)
+				oc, _, err := c.optimalCost(s.env, g.goal, w, mc)
 				if err != nil {
 					return nil, err
 				}
@@ -106,7 +106,7 @@ func (c *Config) Fig21() (*Table, error) {
 				return nil, err
 			}
 			mc := sched.Cost(s.env, goal)
-			oc, _, err := optimalCost(s.env, goal, w, mc)
+			oc, _, err := c.optimalCost(s.env, goal, w, mc)
 			if err != nil {
 				return nil, err
 			}
@@ -160,7 +160,7 @@ func (c *Config) Fig22() (*Table, error) {
 				// The comparator plans from the same misclassified
 				// view — realization noise hits both sides equally,
 				// so the ratio isolates decision quality.
-				oc, err := optimalUnderMisclassification(s.env, g.goal, misW, trueLat)
+				oc, err := c.optimalUnderMisclassification(s.env, g.goal, misW, trueLat)
 				if err != nil {
 					return nil, err
 				}
@@ -178,12 +178,12 @@ func (c *Config) Fig22() (*Table, error) {
 // optimalUnderMisclassification computes the exact optimal schedule for the
 // misclassified template view and prices it with true latencies: what a
 // perfect scheduler with the same (erroneous) information would pay.
-func optimalUnderMisclassification(env *schedule.Env, goal sla.Goal, misW *workload.Workload, trueLat map[int]time.Duration) (float64, error) {
+func (c *Config) optimalUnderMisclassification(env *schedule.Env, goal sla.Goal, misW *workload.Workload, trueLat map[int]time.Duration) (float64, error) {
 	searcher, err := search.New(graph.NewProblem(env, goal))
 	if err != nil {
 		return 0, err
 	}
-	res, err := searcher.Solve(misW, search.Options{MaxExpansions: optimalExpansionCap})
+	res, err := searcher.Solve(misW, search.Options{MaxExpansions: c.expansionCap()})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"wisedb/internal/sla"
+)
+
+// Arena bump-allocates States and their backing int slices for a search
+// that generates many short-lived branching states. All allocations live
+// until Reset; a search resets the arena between runs and Release()s it
+// before parking it in a pool so idle arenas pin nothing.
+//
+// An Arena is owned by exactly one search at a time and is not safe for
+// concurrent use.
+type Arena struct {
+	stateChunks [][]State
+	chunk, used int
+
+	slabs     [][]int
+	slab, off int
+}
+
+const (
+	stateChunkSize = 512
+	intSlabSize    = 4096
+)
+
+// Reset rewinds the arena, retaining all allocated capacity. States handed
+// out before the call must no longer be used.
+func (a *Arena) Reset() {
+	a.chunk, a.used = 0, 0
+	a.slab, a.off = 0, 0
+}
+
+// Release zeroes every State the arena handed out since its last Reset, so
+// that a pooled idle arena does not pin accumulators or slice backing
+// arrays, then rewinds. The int slabs hold no pointers and are kept as-is.
+func (a *Arena) Release() {
+	for i := 0; i <= a.chunk && i < len(a.stateChunks); i++ {
+		c := a.stateChunks[i]
+		n := stateChunkSize
+		if i == a.chunk {
+			n = a.used
+		}
+		for j := 0; j < n; j++ {
+			c[j] = State{}
+		}
+	}
+	a.Reset()
+}
+
+// newState bump-allocates a State.
+func (a *Arena) newState() *State {
+	if a.chunk == len(a.stateChunks) {
+		a.stateChunks = append(a.stateChunks, make([]State, stateChunkSize))
+	}
+	s := &a.stateChunks[a.chunk][a.used]
+	if a.used++; a.used == stateChunkSize {
+		a.chunk++
+		a.used = 0
+	}
+	return s
+}
+
+// ints carves a full-capacity slice of n ints from the arena slabs. The
+// caller must overwrite every element.
+func (a *Arena) ints(n int) []int {
+	if n > intSlabSize {
+		return make([]int, n)
+	}
+	if a.slab < len(a.slabs) && a.off+n > intSlabSize {
+		a.slab++
+		a.off = 0
+	}
+	if a.slab == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]int, intSlabSize))
+		a.off = 0
+	}
+	s := a.slabs[a.slab][a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// ApplyArena is Apply for branching searches: the successor State and its
+// Unassigned/OpenQueue backing arrays are drawn from the arena instead of
+// the heap, so an expansion-heavy search allocates nothing per edge once
+// the arena has grown. Successors are identical to Apply's in every field,
+// with one deliberate exception: for penalty-history-free goals
+// (sla.PenaltyHistoryFree) the accumulator is shared unchanged from the
+// parent rather than advanced. Every quantity a search derives from a
+// state — edge weights (PeekAdd − Penalty telescopes for history-free
+// goals), signatures (history-free accumulators append no bytes), goal
+// tests, action sets — is unaffected; only Acc.Penalty() itself goes stale,
+// so arena states must not escape to consumers that read absolute
+// penalties. Callers exporting a path replay it with Apply.
+func (p *Problem) ApplyArena(ar *Arena, s *State, a Action) *State {
+	switch a.Kind {
+	case Startup:
+		if !s.CanStartup() {
+			panic("graph: invalid start-up edge")
+		}
+		if a.VMType < 0 || a.VMType >= len(p.Env.VMTypes) {
+			panic("graph: unknown VM type")
+		}
+		prevFirst := s.PrevFirst
+		if len(s.OpenQueue) > 0 {
+			prevFirst = s.OpenQueue[0]
+		}
+		child := ar.newState()
+		*child = State{
+			Unassigned: s.Unassigned,
+			OpenType:   a.VMType,
+			OpenQueue:  nil,
+			Wait:       0,
+			Acc:        s.Acc,
+			PrevFirst:  prevFirst,
+		}
+		return child
+	case Place:
+		if !p.CanPlace(s, a.Template) {
+			panic("graph: invalid placement edge")
+		}
+		lat, _ := p.Env.Latency(a.Template, s.OpenType)
+		unassigned := ar.ints(len(s.Unassigned))
+		copy(unassigned, s.Unassigned)
+		unassigned[a.Template]--
+		queue := ar.ints(len(s.OpenQueue) + 1)
+		copy(queue, s.OpenQueue)
+		queue[len(s.OpenQueue)] = a.Template
+		completion := s.Wait + lat
+		acc := s.Acc
+		if !p.historyFree() {
+			acc = s.Acc.Add(a.Template, completion)
+		}
+		child := ar.newState()
+		*child = State{
+			Unassigned: unassigned,
+			OpenType:   s.OpenType,
+			OpenQueue:  queue,
+			Wait:       completion,
+			Acc:        acc,
+			PrevFirst:  s.PrevFirst,
+		}
+		return child
+	default:
+		panic("graph: unknown action kind")
+	}
+}
+
+// historyFree caches sla.PenaltyHistoryFree(p.Goal) on first use.
+func (p *Problem) historyFree() bool {
+	p.histOnce.Do(func() { p.histFree = sla.PenaltyHistoryFree(p.Goal) })
+	return p.histFree
+}

@@ -21,6 +21,7 @@ package graph
 
 import (
 	"encoding/binary"
+	"sync"
 	"time"
 
 	"wisedb/internal/schedule"
@@ -112,6 +113,11 @@ type Problem struct {
 	// Tests use it to verify the reduction is lossless; production
 	// searches leave it off.
 	NoSymmetryBreaking bool
+
+	// histOnce/histFree lazily cache sla.PenaltyHistoryFree(Goal) for the
+	// ApplyArena fast path (works for struct-literal Problems too).
+	histOnce sync.Once
+	histFree bool
 }
 
 // NewProblem constructs a Problem.
@@ -284,10 +290,17 @@ func (p *Problem) ApplyInPlace(s *State, a Action) {
 // (renting a VM nothing can use is never optimal and never reaches a goal
 // with the reductions in force).
 func (p *Problem) Actions(s *State) []Action {
-	var out []Action
+	return p.AppendActions(nil, s)
+}
+
+// AppendActions appends the out-edges of s to buf in the same deterministic
+// order as Actions and returns the extended slice. It is the
+// allocation-free form used on the search hot path: the caller reuses one
+// scratch buffer per expansion.
+func (p *Problem) AppendActions(buf []Action, s *State) []Action {
 	for t := range s.Unassigned {
 		if p.CanPlace(s, t) {
-			out = append(out, Action{Kind: Place, Template: t})
+			buf = append(buf, Action{Kind: Place, Template: t})
 		}
 	}
 	if s.CanStartup() {
@@ -303,11 +316,11 @@ func (p *Problem) Actions(s *State) []Action {
 				}
 			}
 			if usable {
-				out = append(out, Action{Kind: Startup, VMType: vt.ID})
+				buf = append(buf, Action{Kind: Startup, VMType: vt.ID})
 			}
 		}
 	}
-	return out
+	return buf
 }
 
 // Signature returns a canonical byte-string key identifying all state that

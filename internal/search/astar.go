@@ -16,10 +16,16 @@
 // found, a goal's cost becomes an incumbent bound, and the search stops when
 // the cheapest open f-value cannot beat the incumbent. For monotonic goals
 // the heuristic is consistent and this degenerates to plain A*.
+//
+// Three engine-level optimizations keep the training-side searches fast
+// (see DESIGN.md, "The search engine"): states and their slices are
+// bump-allocated from a pooled graph.Arena, the open list is a monotone
+// bucket queue over quantized f-costs (bucketFrontier), and solved suffix
+// subproblems transfer between searches of one Problem through a
+// TranspositionCache.
 package search
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -46,13 +52,19 @@ type Result struct {
 	Cost float64
 	// Actions is the edge sequence from the start vertex to the goal.
 	Actions []graph.Action
-	// Path pairs each decision with the vertex it was made at.
+	// Path pairs each decision with the vertex it was made at. The states
+	// are materialized by replaying Actions from the start vertex, so
+	// their accumulators are exact even where the search shared a static
+	// accumulator internally (see graph.ApplyArena).
 	Path []Step
 	// Expanded counts vertex expansions (search effort).
 	Expanded int
 	// Optimal is false only if the expansion limit interrupted the
 	// search before optimality was proven.
 	Optimal bool
+	// CacheHits and CacheMisses count transposition-cache lookups made by
+	// this search (zero when no cache was used).
+	CacheHits, CacheMisses int
 	// Closed records, per interned state signature, the best path cost
 	// with which the state was reached. Adaptive modeling (§5) feeds this
 	// into the heuristic of a re-search under a tightened goal.
@@ -100,6 +112,19 @@ type Options struct {
 	// cheaper, it reports ErrSeedIsOptimal: the seed schedule was
 	// already optimal (within eps).
 	IncumbentCost float64
+	// Cache, when non-nil, consults (and prunes through) the
+	// cross-search transposition cache: a generated state whose
+	// signature has a solved suffix stitches the stored completion
+	// instead of expanding the subtree. Ignored for non-monotonic goals
+	// (see TranspositionCache). The cache must have been populated only
+	// from searches of the same Problem.
+	Cache *TranspositionCache
+	// Record, when non-nil and the goal is monotonic, receives one
+	// solved-suffix record per state on the returned optimal path (only
+	// when optimality was proven). Publish them with
+	// TranspositionCache.Commit; worker pools commit at deterministic
+	// barriers.
+	Record *PendingSuffixes
 }
 
 // ErrSeedIsOptimal is returned when branch-and-bound proves no schedule
@@ -121,42 +146,11 @@ type node struct {
 	f      float64
 	parent *node
 	act    graph.Action
-	index  int // heap index; -1 when not in the heap
 	// remaining caches state.RemainingQueries() at node creation: the
-	// open-heap tie-break reads it on every comparison, and recomputing
-	// the sum over Unassigned there dominates heap maintenance in the
-	// training hot loop.
+	// open-frontier tie-break reads it on every comparison, and
+	// recomputing the sum over Unassigned there dominates frontier
+	// maintenance in the training hot loop.
 	remaining int32
-}
-
-// openHeap is a min-heap on f, breaking ties toward deeper states (fewer
-// remaining queries) to reach goals sooner among equals.
-type openHeap []*node
-
-func (h openHeap) Len() int { return len(h) }
-func (h openHeap) Less(i, j int) bool {
-	if h[i].f != h[j].f {
-		return h[i].f < h[j].f
-	}
-	return h[i].remaining < h[j].remaining
-}
-func (h openHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *openHeap) Push(x any) {
-	n := x.(*node)
-	n.index = len(*h)
-	*h = append(*h, n)
-}
-func (h *openHeap) Pop() any {
-	old := *h
-	n := old[len(old)-1]
-	old[len(old)-1] = nil
-	n.index = -1
-	*h = old[:len(old)-1]
-	return n
 }
 
 // Searcher solves scheduling problems. It precomputes the per-template
@@ -164,14 +158,15 @@ func (h *openHeap) Pop() any {
 //
 // A Searcher is safe for concurrent use: all precomputed tables are
 // read-only after New, and each Solve call draws its mutable scratch state
-// (signature buffer, intern table, node arena, open list) from a pool so
-// that concurrent searches — the training worker pool runs one per worker —
-// never share buffers.
+// (signature buffer, intern table, state/node arenas, open frontier) from a
+// pool so that concurrent searches — the training worker pool runs one per
+// worker — never share buffers.
 type Searcher struct {
 	prob         *graph.Problem
 	minCost      []float64
 	minLat       []time.Duration
 	latOrderDesc []int
+	minStartup   float64   // cheapest VM start-up fee, used by every bound
 	arenas       sync.Pool // *arena
 }
 
@@ -188,7 +183,13 @@ func New(prob *graph.Problem) (*Searcher, error) {
 		minCost[i] = c
 		minLat[i], _ = prob.Env.FastestLatency(i)
 	}
-	s := &Searcher{prob: prob, minCost: minCost, minLat: minLat}
+	minStartup := math.Inf(1)
+	for _, vt := range prob.Env.VMTypes {
+		if vt.StartupCost < minStartup {
+			minStartup = vt.StartupCost
+		}
+	}
+	s := &Searcher{prob: prob, minCost: minCost, minLat: minLat, minStartup: minStartup}
 	s.arenas.New = func() any { return newArena() }
 	s.initLatOrder()
 	return s, nil
@@ -199,14 +200,18 @@ func New(prob *graph.Problem) (*Searcher, error) {
 const nodeChunkSize = 1024
 
 // arena is the per-search scratch state: one worker owns one arena for the
-// duration of a Solve, so searches allocate signature bytes, nodes, and heap
-// slots from reused memory instead of churning the allocator per expanded
-// edge.
+// duration of a Solve, so searches allocate signature bytes, states, nodes,
+// and frontier slots from reused memory instead of churning the allocator
+// per expanded edge.
 type arena struct {
 	sigBuf []byte
 	table  *InternTable
 	best   []*node // dense state id -> best known node
-	open   openHeap
+	open   bucketFrontier
+	states graph.Arena    // bump-allocated successor states
+	actBuf []graph.Action // per-expansion action scratch
+	bigs   []time.Duration
+	dom    *dominanceIndex // lazily built; Percentile searches only
 	chunks [][]node
 	chunk  int // index of the chunk newNode bump-allocates from
 	used   int // nodes used within that chunk
@@ -220,9 +225,12 @@ func newArena() *arena {
 func (a *arena) reset() {
 	a.sigBuf = a.sigBuf[:0]
 	a.best = a.best[:0]
-	a.open = a.open[:0]
 	a.chunk, a.used = 0, 0
+	a.states.Reset()
 	a.table.Reset()
+	if a.dom != nil {
+		a.dom.reset()
+	}
 }
 
 // release drops every reference the finished search left in the arena —
@@ -243,10 +251,11 @@ func (a *arena) release() {
 		a.best[i] = nil
 	}
 	a.best = a.best[:0]
-	for i := range a.open {
-		a.open[i] = nil
+	a.open.release()
+	a.states.Release()
+	if a.dom != nil {
+		a.dom.release()
 	}
-	a.open = a.open[:0]
 	a.chunk, a.used = 0, 0
 }
 
@@ -272,8 +281,8 @@ func (s *Searcher) Problem() *graph.Problem { return s.prob }
 // every unassigned query. For non-monotonic goals the accumulated penalty
 // may still be refunded by future placements, so the admissible form
 // subtracts it (the final penalty is at least zero). Adaptive reuse takes
-// the max with OldCost − g_old (Lemma 5.1).
-func (s *Searcher) heuristic(st *graph.State, sig []byte, reuse *Reuse) float64 {
+// the max with OldCost − g_old (Lemma 5.1). Scratch is drawn from ar.
+func (s *Searcher) heuristic(ar *arena, st *graph.State, sig []byte, reuse *Reuse) float64 {
 	h := 0.0
 	remaining := 0
 	var minFutureLat time.Duration
@@ -294,7 +303,7 @@ func (s *Searcher) heuristic(st *graph.State, sig []byte, reuse *Reuse) float64 
 		case sla.Percentile:
 			bound := sla.MinFinalPenalty(goal, st.Acc, remaining, minFutureLat)
 			if remaining > 0 {
-				if fees := s.percentileBound(st, goal, remaining); fees > bound {
+				if fees := s.percentileBound(ar, st, goal, remaining); fees > bound {
 					bound = fees
 				}
 			}
@@ -334,12 +343,6 @@ func (s *Searcher) packingBound(st *graph.State, minFutureLat time.Duration) flo
 	if !ok || room <= 0 {
 		return 0
 	}
-	minStartup := math.Inf(1)
-	for _, vt := range s.prob.Env.VMTypes {
-		if vt.StartupCost < minStartup {
-			minStartup = vt.StartupCost
-		}
-	}
 	openRoom := time.Duration(0)
 	if st.OpenType != graph.NoVM && room > st.Wait {
 		openRoom = room - st.Wait
@@ -358,11 +361,11 @@ func (s *Searcher) packingBound(st *graph.State, minFutureLat time.Duration) flo
 	// integers around the penalty-free crossover point.
 	kCross := float64(spill) / float64(room)
 	best := math.Inf(1)
-	for _, k := range []float64{kLow, math.Floor(kCross), math.Ceil(kCross)} {
+	for _, k := range [3]float64{kLow, math.Floor(kCross), math.Ceil(kCross)} {
 		if k < kLow {
 			continue
 		}
-		cost := k * minStartup
+		cost := k * s.minStartup
 		if residual := spill - time.Duration(k*float64(room)); residual > 0 {
 			cost += rate * residual.Seconds()
 		}
@@ -371,6 +374,70 @@ func (s *Searcher) packingBound(st *graph.State, minFutureLat time.Duration) flo
 		}
 	}
 	return best
+}
+
+// solver holds the mutable state of one Solve call.
+type solver struct {
+	s     *Searcher
+	ar    *arena
+	table *InternTable
+	reuse *Reuse
+
+	cache     *TranspositionCache
+	hits      int
+	misses    int
+	incumbent *node
+	// stitched is the cached suffix completing the incumbent; nil when
+	// the incumbent is a goal node reached by expansion.
+	stitched      []graph.Action
+	incumbentCost float64
+	seeded        bool
+}
+
+// consider processes one arrival at a state: interns its signature,
+// deduplicates against the best-known node, applies dominance pruning,
+// stitches a cached suffix, or pushes an open node. parent is nil for the
+// start vertex.
+func (sv *solver) consider(st *graph.State, parent *node, act graph.Action, g float64, remaining int32) {
+	ar := sv.ar
+	ar.sigBuf = sv.s.prob.AppendSignature(ar.sigBuf[:0], st)
+	id, fresh := sv.table.Intern(ar.sigBuf)
+	if fresh {
+		ar.best = append(ar.best, nil)
+	}
+	if b := ar.best[id]; b != nil && b.g <= g+eps {
+		return
+	}
+	if ar.dom != nil {
+		if ar.dom.dominated(st, g) {
+			return
+		}
+		ar.dom.insert(st, g)
+	}
+	if sv.cache != nil {
+		if e, ok := sv.cache.lookup(ar.sigBuf); ok {
+			sv.hits++
+			cn := ar.newNode()
+			*cn = node{state: st, id: id, g: g, f: g + e.cost, parent: parent, act: act, remaining: remaining}
+			ar.best[id] = cn
+			// Strict improvement (beyond eps) keeps seeded-incumbent
+			// semantics: a stitched completion merely matching the seed
+			// must still report ErrSeedIsOptimal.
+			if total := g + e.cost; total < sv.incumbentCost-eps {
+				sv.incumbent, sv.incumbentCost, sv.stitched = cn, total, e.actions
+			}
+			return
+		}
+		sv.misses++
+	}
+	f := g + sv.s.heuristic(ar, st, ar.sigBuf, sv.reuse)
+	if f >= sv.incumbentCost-eps {
+		return // bound: cannot beat the incumbent
+	}
+	cn := ar.newNode()
+	*cn = node{state: st, id: id, g: g, f: f, parent: parent, act: act, remaining: remaining}
+	ar.best[id] = cn
+	ar.open.push(cn)
 }
 
 // Solve finds a minimum-cost complete schedule for the workload. It is safe
@@ -386,52 +453,55 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 	}()
 	ar.reset()
 	table := ar.table
-	if opts.KeepClosed {
-		// The table escapes into the Result; the arena keeps its own.
-		table = NewInternTable()
+	if _, isPct := s.prob.Goal.(sla.Percentile); isPct {
+		if ar.dom == nil {
+			ar.dom = newDominanceIndex()
+		}
+	} else {
+		ar.dom = nil
+	}
+	// f-costs are in cents; a quantum of a fraction of the cheapest
+	// start-up fee separates the packing plateaus the bounds create while
+	// keeping the bucket count moderate.
+	quantum := s.minStartup / 8
+	if !(quantum > 1e-4) {
+		quantum = 1e-4
+	}
+	ar.open.init(0, quantum)
+
+	monotonic := s.prob.Goal.Monotonic()
+	sv := solver{s: s, ar: ar, table: table, reuse: opts.Reuse, incumbentCost: math.Inf(1)}
+	if opts.Cache != nil && monotonic {
+		// Sound for monotonic goals only; see TranspositionCache.
+		sv.cache = opts.Cache
+	}
+	if opts.IncumbentCost > 0 {
+		sv.incumbentCost = opts.IncumbentCost + eps
+		sv.seeded = true
 	}
 
 	start := s.prob.Start(w)
-	ar.sigBuf = s.prob.AppendSignature(ar.sigBuf[:0], start)
-	startID, _ := table.Intern(ar.sigBuf)
-	root := ar.newNode()
-	*root = node{state: start, id: startID, index: -1, remaining: int32(start.RemainingQueries())}
-	root.f = s.heuristic(start, ar.sigBuf, opts.Reuse)
+	sv.consider(start, nil, graph.Action{}, 0, int32(start.RemainingQueries()))
 
-	ar.best = append(ar.best, root)
-	open := &ar.open
-	heap.Init(open)
-	heap.Push(open, root)
-	var dom *dominanceIndex
-	if _, isPct := s.prob.Goal.(sla.Percentile); isPct {
-		dom = newDominanceIndex()
-		dom.insert(start, 0)
-	}
-
-	var incumbent *node
-	incumbentCost := math.Inf(1)
-	seeded := false
-	if opts.IncumbentCost > 0 {
-		incumbentCost = opts.IncumbentCost + eps
-		seeded = true
-	}
 	expanded := 0
 	optimal := true
-
-	for open.Len() > 0 {
-		n := heap.Pop(open).(*node)
+	for {
+		n := ar.open.pop()
+		if n == nil {
+			break
+		}
 		if b := ar.best[n.id]; b != nil && b.g < n.g-eps {
 			continue // stale entry superseded by a cheaper path
 		}
-		if n.f >= incumbentCost-eps && (incumbent != nil || seeded) {
+		if n.f >= sv.incumbentCost-eps && (sv.incumbent != nil || sv.seeded) {
 			// Nothing in the open list can beat the incumbent:
 			// every other open node has f >= n.f, and f never
 			// overestimates the cost of completions.
 			break
 		}
 		if n.state.IsGoal() {
-			if n.g < incumbentCost {
-				incumbent, incumbentCost = n, n.g
+			if n.g < sv.incumbentCost {
+				sv.incumbent, sv.incumbentCost, sv.stitched = n, n.g, nil
 			}
 			continue
 		}
@@ -440,7 +510,8 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 			optimal = false
 			break
 		}
-		for _, a := range s.prob.Actions(n.state) {
+		ar.actBuf = s.prob.AppendActions(ar.actBuf[:0], n.state)
+		for _, a := range ar.actBuf {
 			var cost float64
 			switch a.Kind {
 			case graph.Startup:
@@ -452,54 +523,48 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 				}
 				cost = c
 			}
-			child := s.prob.Apply(n.state, a)
-			ar.sigBuf = s.prob.AppendSignature(ar.sigBuf[:0], child)
-			id, fresh := table.Intern(ar.sigBuf)
-			if fresh {
-				ar.best = append(ar.best, nil)
-			}
-			g := n.g + cost
-			if b := ar.best[id]; b != nil && b.g <= g+eps {
-				continue
-			}
-			if dom != nil {
-				if dom.dominated(child, g) {
-					continue
-				}
-				dom.insert(child, g)
-			}
-			f := g + s.heuristic(child, ar.sigBuf, opts.Reuse)
-			if f >= incumbentCost-eps {
-				continue // bound: cannot beat the incumbent
-			}
+			child := s.prob.ApplyArena(&ar.states, n.state, a)
 			remaining := n.remaining
 			if a.Kind == graph.Place {
 				remaining-- // a placement assigns exactly one query
 			}
-			cn := ar.newNode()
-			*cn = node{state: child, id: id, g: g, f: f, parent: n, act: a, index: -1, remaining: remaining}
-			ar.best[id] = cn
-			heap.Push(open, cn)
+			sv.consider(child, n, a, n.g+cost, remaining)
 		}
 	}
+	if sv.cache != nil {
+		sv.cache.addCounters(sv.hits, sv.misses)
+	}
 
-	if incumbent == nil {
+	if sv.incumbent == nil {
 		if !optimal {
 			return nil, fmt.Errorf("search: expansion limit %d hit before any schedule was found", opts.MaxExpansions)
 		}
-		if seeded {
+		if sv.seeded {
 			return nil, ErrSeedIsOptimal
 		}
 		return nil, ErrNoSchedule
 	}
 
-	res := &Result{Cost: incumbent.g, Expanded: expanded, Optimal: optimal}
-	for n := incumbent; n.parent != nil; n = n.parent {
-		res.Actions = append(res.Actions, n.act)
-		res.Path = append(res.Path, Step{State: n.parent.state, Action: n.act})
+	// Assemble the action path: the parent chain up to the incumbent,
+	// then the stitched cache suffix (if any).
+	var actions []graph.Action
+	for n := sv.incumbent; n.parent != nil; n = n.parent {
+		actions = append(actions, n.act)
 	}
-	reverseActions(res.Actions)
-	reverseSteps(res.Path)
+	reverseActions(actions)
+	actions = append(actions, sv.stitched...)
+
+	res := &Result{
+		Cost:        sv.incumbentCost,
+		Actions:     actions,
+		Expanded:    expanded,
+		Optimal:     optimal,
+		CacheHits:   sv.hits,
+		CacheMisses: sv.misses,
+	}
+	if err := s.buildPath(res, w, opts); err != nil {
+		return nil, err
+	}
 	if opts.KeepClosed {
 		g := make([]float64, len(ar.best))
 		for id, n := range ar.best {
@@ -509,9 +574,60 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 				g[id] = math.Inf(1)
 			}
 		}
-		res.Closed = &Closed{Table: table, G: g}
+		// The arena table is reused by the next search; the escaping
+		// Closed gets its own immutable snapshot.
+		res.Closed = &Closed{Table: table.Snapshot(), G: g}
 	}
 	return res, nil
+}
+
+// buildPath replays the result's actions from the start vertex with
+// graph.Apply, materializing the Path steps with exact accumulators (the
+// search's internal states may share a static accumulator and be stitched
+// from cached suffixes). When opts.Record is set, the goal is monotonic,
+// and optimality was proven, it also records every path state's solved
+// suffix for later Commit into a transposition cache. The replayed edge
+// costs double-check the stitched path; a mismatch against the search cost
+// reports an error instead of a silently wrong schedule.
+func (s *Searcher) buildPath(res *Result, w *workload.Workload, opts Options) error {
+	record := opts.Record != nil && s.prob.Goal.Monotonic() && res.Optimal
+	var recActions []graph.Action
+	if record {
+		// Records alias one private copy, never the caller-visible
+		// Actions slice.
+		recActions = append(make([]graph.Action, 0, len(res.Actions)), res.Actions...)
+	}
+	res.Path = make([]Step, 0, len(res.Actions))
+	st := s.prob.Start(w)
+	g := 0.0
+	var sigBuf []byte
+	for i, a := range res.Actions {
+		res.Path = append(res.Path, Step{State: st, Action: a})
+		if record {
+			sigBuf = s.prob.AppendSignature(sigBuf[:0], st)
+			opts.Record.add(sigBuf, res.Cost-g, recActions[i:])
+		}
+		var cost float64
+		switch a.Kind {
+		case graph.Startup:
+			cost = s.prob.StartupCost(a.VMType)
+		case graph.Place:
+			c, ok := s.prob.PlacementCost(st, a.Template)
+			if !ok {
+				return fmt.Errorf("search: internal error: invalid placement of template %d while replaying the optimal path", a.Template)
+			}
+			cost = c
+		}
+		g += cost
+		st = s.prob.Apply(st, a)
+	}
+	if !st.IsGoal() {
+		return errors.New("search: internal error: replayed path does not reach a goal vertex")
+	}
+	if math.Abs(g-res.Cost) > 1e-6 {
+		return fmt.Errorf("search: internal error: replayed path costs %.9f, search reported %.9f", g, res.Cost)
+	}
+	return nil
 }
 
 // ReuseFrom packages a completed search into the adaptive-A* reuse
@@ -525,12 +641,6 @@ func ReuseFrom(r *Result) *Reuse {
 }
 
 func reverseActions(a []graph.Action) {
-	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
-		a[i], a[j] = a[j], a[i]
-	}
-}
-
-func reverseSteps(a []Step) {
 	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
 		a[i], a[j] = a[j], a[i]
 	}

@@ -27,26 +27,18 @@ import (
 //
 // never overestimates, and extra is unimodal in k (minSumC is convex
 // decreasing), so a ternary search finds min_k extra(k).
+//
+// The descending latency vector is never materialized: it is a sequence of
+// per-template runs (templates visited in precomputed descending minLat
+// order, each contributing Unassigned[t] equal latencies), and the
+// positional weights Σ⌊i/m⌋ over a run have a closed form — the bound
+// evaluates in O(templates) per k with zero allocations.
 func (s *Searcher) averageBound(st *graph.State, goal sla.Average, remaining int) float64 {
 	nDone, sum, ok := sla.MeanState(st.Acc)
 	if !ok {
 		return 0
 	}
-	// Remaining execution latencies, descending. Templates are visited in
-	// precomputed descending minLat order so no per-call sort is needed.
-	lats := make([]time.Duration, 0, remaining)
-	for _, t := range s.latOrderDesc {
-		for c := st.Unassigned[t]; c > 0; c-- {
-			lats = append(lats, s.minLat[t])
-		}
-	}
 	nTotal := nDone + remaining
-	minStartup := math.Inf(1)
-	for _, vt := range s.prob.Env.VMTypes {
-		if vt.StartupCost < minStartup {
-			minStartup = vt.StartupCost
-		}
-	}
 	openVMs := 0
 	if st.OpenType != graph.NoVM {
 		openVMs = 1
@@ -57,12 +49,8 @@ func (s *Searcher) averageBound(st *graph.State, goal sla.Average, remaining int
 	}
 	extra := func(k int) float64 {
 		m := k + openVMs
-		var sumC time.Duration
-		for i, l := range lats {
-			sumC += time.Duration((i/m)+1) * l
-		}
-		avg := (sum + sumC) / time.Duration(nTotal)
-		cost := float64(k) * minStartup
+		avg := (sum + s.roundRobinSumC(st, m)) / time.Duration(nTotal)
+		cost := float64(k) * s.minStartup
 		if avg > goal.Deadline {
 			cost += (avg - goal.Deadline).Seconds() * goal.Rate
 		}
@@ -85,6 +73,33 @@ func (s *Searcher) averageBound(st *graph.State, goal sla.Average, remaining int
 		}
 	}
 	return best
+}
+
+// roundRobinSumC returns Σ l_(i) × (⌊i/m⌋+1) over the state's remaining
+// execution latencies sorted descending — the round-robin SPT completion
+// sum on m machines — without materializing the latency vector. Positions
+// [pos, pos+c) all carry template t's fastest latency, so each template
+// contributes l_t × (c + Σ_{i=pos}^{pos+c-1} ⌊i/m⌋) with the inner sum in
+// closed form.
+func (s *Searcher) roundRobinSumC(st *graph.State, m int) time.Duration {
+	var sumC time.Duration
+	pos := 0
+	for _, t := range s.latOrderDesc {
+		c := st.Unassigned[t]
+		if c == 0 {
+			continue
+		}
+		blocks := floorDivSum(pos+c, m) - floorDivSum(pos, m)
+		sumC += s.minLat[t] * time.Duration(c+blocks)
+		pos += c
+	}
+	return sumC
+}
+
+// floorDivSum returns Σ_{i=0}^{n-1} ⌊i/m⌋.
+func floorDivSum(n, m int) int {
+	q, r := n/m, n%m
+	return m*q*(q-1)/2 + q*r
 }
 
 // initLatOrder precomputes template indices sorted by descending minimum
@@ -115,8 +130,10 @@ func (s *Searcher) initLatOrder() {
 //
 //	extra(k) = k × minStartup + rate × max(0, spill_k/(M+1))
 //
-// The bound takes the best k, which no completion can beat.
-func (s *Searcher) percentileBound(st *graph.State, goal sla.Percentile, remaining int) float64 {
+// The bound takes the best k, which no completion can beat. Scratch (the
+// big-item vector) is drawn from the search arena; steady state allocates
+// nothing.
+func (s *Searcher) percentileBound(ar *arena, st *graph.State, goal sla.Percentile, remaining int) float64 {
 	below, above, ok := sla.PctState(st.Acc)
 	if !ok {
 		return 0
@@ -134,12 +151,6 @@ func (s *Searcher) percentileBound(st *graph.State, goal sla.Percentile, remaini
 	if budget > 0 {
 		mustFit -= budget
 	}
-	minStartup := math.Inf(1)
-	for _, vt := range s.prob.Env.VMTypes {
-		if vt.StartupCost < minStartup {
-			minStartup = vt.StartupCost
-		}
-	}
 	openVMs := 0
 	room0 := time.Duration(0)
 	if st.OpenType != graph.NoVM {
@@ -150,7 +161,7 @@ func (s *Searcher) percentileBound(st *graph.State, goal sla.Percentile, remaini
 	}
 	kLow := 1 - openVMs
 	if mustFit <= 0 {
-		return float64(kLow) * minStartup
+		return float64(kLow) * s.minStartup
 	}
 	// W': total work of the mustFit smallest future execution latencies.
 	// latOrderDesc is descending, so take from the tail.
@@ -168,7 +179,8 @@ func (s *Searcher) percentileBound(st *graph.State, goal sla.Percentile, remaini
 	// Pigeonhole refinement: two must-fit items longer than half the
 	// deadline cannot share a machine penalty-free. With fewer machines
 	// than big items, the two smallest bigs bound the forced overage.
-	bigs := s.collectBigs(st, mustFit, goal.Deadline)
+	ar.bigs = s.collectBigs(ar.bigs[:0], st, mustFit, goal.Deadline)
+	bigs := ar.bigs
 	openBig := 0
 	if openVMs == 1 && len(bigs) > 0 && st.Wait+bigs[0] <= goal.Deadline {
 		openBig = 1
@@ -176,7 +188,7 @@ func (s *Searcher) percentileBound(st *graph.State, goal sla.Percentile, remaini
 	best := math.Inf(1)
 	for k := kLow; k <= remaining; k++ {
 		m := k + openVMs
-		cost := float64(k) * minStartup
+		cost := float64(k) * s.minStartup
 		pen := 0.0
 		if spill := work - room0 - time.Duration(k)*goal.Deadline; spill > 0 {
 			pen = goal.Rate * (spill / time.Duration(m+1)).Seconds()
@@ -197,11 +209,10 @@ func (s *Searcher) percentileBound(st *graph.State, goal sla.Percentile, remaini
 	return best
 }
 
-// collectBigs returns, ascending, the execution latencies greater than half
-// the deadline among the `mustFit` smallest future queries.
-func (s *Searcher) collectBigs(st *graph.State, mustFit int, deadline time.Duration) []time.Duration {
+// collectBigs appends, ascending, the execution latencies greater than half
+// the deadline among the `mustFit` smallest future queries to buf.
+func (s *Searcher) collectBigs(buf []time.Duration, st *graph.State, mustFit int, deadline time.Duration) []time.Duration {
 	half := deadline / 2
-	var bigs []time.Duration
 	taken := 0
 	for i := len(s.latOrderDesc) - 1; i >= 0 && taken < mustFit; i-- {
 		t := s.latOrderDesc[i]
@@ -212,9 +223,9 @@ func (s *Searcher) collectBigs(st *graph.State, mustFit int, deadline time.Durat
 		taken += c
 		if s.minLat[t] > half {
 			for j := 0; j < c; j++ {
-				bigs = append(bigs, s.minLat[t])
+				buf = append(buf, s.minLat[t])
 			}
 		}
 	}
-	return bigs
+	return buf
 }

@@ -32,8 +32,14 @@ import (
 // placements, and two states with ordered violation vectors refund
 // differently, so only the non-refundable processing+fee component is a
 // sound basis for dominance.
+//
+// Keys are interned to dense ids (an InternTable, as the closed set uses)
+// and buckets indexed by id, so steady-state lookups and inserts allocate
+// nothing: only a fresh key's bytes are copied. An index is pooled with its
+// search arena and reset between searches.
 type dominanceIndex struct {
-	buckets map[string][]domEntry
+	table   *InternTable
+	buckets [][]domEntry
 	keyBuf  []byte // scratch reused across key computations
 }
 
@@ -43,15 +49,34 @@ type domEntry struct {
 }
 
 func newDominanceIndex() *dominanceIndex {
-	return &dominanceIndex{buckets: map[string][]domEntry{}}
+	return &dominanceIndex{table: NewInternTable()}
+}
+
+// reset readies the index for a fresh search, retaining capacity. Buckets
+// of previously seen ids are emptied lazily as ids are re-assigned.
+func (d *dominanceIndex) reset() {
+	d.table.Reset()
+	d.buckets = d.buckets[:0]
+}
+
+// release drops the violation-vector references held by the finished
+// search so a pooled index pins nothing.
+func (d *dominanceIndex) release() {
+	full := d.buckets[:cap(d.buckets)]
+	for i := range full {
+		b := full[i][:cap(full[i])]
+		for j := range b {
+			b[j] = domEntry{}
+		}
+		full[i] = b[:0]
+	}
+	d.buckets = d.buckets[:0]
 }
 
 // key buckets states by everything except the violation split: unassigned
 // counts (which fix the assigned count), open VM type and wait, and the
 // canonical-ordering bound. The returned byte key aliases the index's
-// scratch buffer and is valid until the next key call: dominance lookups
-// read the map through it without allocating; insert's map assignment pays
-// one key-string copy.
+// scratch buffer and is valid until the next key call.
 func (d *dominanceIndex) key(st *graph.State) ([]byte, []time.Duration, bool) {
 	_, above, ok := sla.PctState(st.Acc)
 	if !ok {
@@ -90,8 +115,12 @@ func (d *dominanceIndex) dominated(st *graph.State, g float64) bool {
 	if !ok {
 		return false
 	}
+	id, found := d.table.Lookup(key)
+	if !found || int(id) >= len(d.buckets) {
+		return false
+	}
 	gHat := g - st.Acc.Penalty()
-	for _, e := range d.buckets[string(key)] {
+	for _, e := range d.buckets[id] {
 		if e.gHat <= gHat+eps && dominatesRightAligned(e.above, above) {
 			return true
 		}
@@ -106,8 +135,18 @@ func (d *dominanceIndex) insert(st *graph.State, g float64) {
 	if !ok {
 		return
 	}
+	id, fresh := d.table.Intern(key)
+	if fresh {
+		if int(id) < cap(d.buckets) {
+			// Reclaim a bucket left over from a previous search.
+			d.buckets = d.buckets[:id+1]
+			d.buckets[id] = d.buckets[id][:0]
+		} else {
+			d.buckets = append(d.buckets, nil)
+		}
+	}
 	gHat := g - st.Acc.Penalty()
-	entries := d.buckets[string(key)]
+	entries := d.buckets[id]
 	kept := entries[:0]
 	for _, e := range entries {
 		if gHat <= e.gHat+eps && dominatesRightAligned(above, e.above) {
@@ -115,5 +154,5 @@ func (d *dominanceIndex) insert(st *graph.State, g float64) {
 		}
 		kept = append(kept, e)
 	}
-	d.buckets[string(key)] = append(kept, domEntry{above: above, gHat: gHat})
+	d.buckets[id] = append(kept, domEntry{above: above, gHat: gHat})
 }

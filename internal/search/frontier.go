@@ -1,0 +1,145 @@
+package search
+
+// bucketFrontier is the search's open list: a bucket queue over quantized
+// f-costs with an exact in-bucket order. The admissible bounds
+// (packingBound, averageBound, percentileBound) deliberately flatten huge
+// families of states onto near-identical f-values — the "tie plateaus" of
+// the bounds documentation — and a single binary heap pays O(log n)
+// comparisons per operation across the whole plateau. The frontier instead
+// hashes each node to bucket ⌊(f − base) / quantum⌋ and keeps a small
+// binary min-heap per bucket, ordered by the exact comparator
+// (f, then remaining queries, as the global heap used): pops cost
+// O(log bucketSize), and a monotone cursor skips drained buckets.
+//
+// Quantization never changes the pop order: equal f-values land in the same
+// bucket (the index is a deterministic function of f), strictly smaller
+// f-values land in the same or an earlier bucket, and within a bucket the
+// exact comparator decides. The cursor moves backward when a push lands
+// below it — branch-and-bound re-openings under the non-monotonic goals can
+// legally decrease f — so the frontier does not rely on heuristic
+// consistency. Indices above maxBucketIndex clamp into the last bucket,
+// which degrades that bucket toward a plain heap but stays exact.
+type bucketFrontier struct {
+	base    float64 // f origin of bucket 0
+	inv     float64 // buckets per unit of f
+	buckets [][]*node
+	// touched records each bucket index that went from empty to non-empty,
+	// so release visits only buckets a search actually used (a bucket that
+	// drains and refills appears twice; clearing is idempotent).
+	touched []int32
+	cursor  int // lowest possibly non-empty bucket
+	size    int
+}
+
+// maxBucketIndex bounds the bucket array; higher f-values share the last
+// bucket (exactly ordered by its in-bucket heap).
+const maxBucketIndex = 1 << 12
+
+// init readies the frontier for a fresh search. Buckets retained from a
+// previous search (already emptied by release) keep their capacity.
+func (q *bucketFrontier) init(base, quantum float64) {
+	q.base = base
+	q.inv = 1 / quantum
+	q.cursor = 0
+	q.size = 0
+}
+
+// release empties every touched bucket, dropping node references so a
+// pooled arena pins nothing, but keeps the bucket array and per-bucket
+// capacity. The cost scales with the buckets a search actually used, not
+// the bucket range.
+func (q *bucketFrontier) release() {
+	for _, idx := range q.touched {
+		b := q.buckets[idx]
+		for j := range b {
+			b[j] = nil
+		}
+		q.buckets[idx] = b[:0]
+	}
+	q.touched = q.touched[:0]
+	q.cursor = 0
+	q.size = 0
+}
+
+func (q *bucketFrontier) index(f float64) int {
+	idx := int((f - q.base) * q.inv)
+	if idx < 0 {
+		return 0
+	}
+	if idx > maxBucketIndex {
+		return maxBucketIndex
+	}
+	return idx
+}
+
+// nodeLess is the exact open-list order: f ascending, ties toward deeper
+// states (fewer remaining queries) to reach goals sooner among equals.
+func nodeLess(a, b *node) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.remaining < b.remaining
+}
+
+func (q *bucketFrontier) push(n *node) {
+	idx := q.index(n.f)
+	for idx >= len(q.buckets) {
+		q.buckets = append(q.buckets, nil)
+	}
+	if len(q.buckets[idx]) == 0 {
+		q.touched = append(q.touched, int32(idx))
+	}
+	b := append(q.buckets[idx], n)
+	// Sift up.
+	i := len(b) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nodeLess(b[i], b[p]) {
+			break
+		}
+		b[i], b[p] = b[p], b[i]
+		i = p
+	}
+	q.buckets[idx] = b
+	if idx < q.cursor {
+		q.cursor = idx
+	}
+	q.size++
+}
+
+// pop removes and returns the minimum node under nodeLess, or nil when the
+// frontier is empty.
+func (q *bucketFrontier) pop() *node {
+	for q.cursor < len(q.buckets) && len(q.buckets[q.cursor]) == 0 {
+		q.cursor++
+	}
+	if q.cursor >= len(q.buckets) {
+		return nil
+	}
+	b := q.buckets[q.cursor]
+	n := b[0]
+	last := len(b) - 1
+	b[0] = b[last]
+	b[last] = nil
+	b = b[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(b) && nodeLess(b[l], b[min]) {
+			min = l
+		}
+		if r < len(b) && nodeLess(b[r], b[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		b[i], b[min] = b[min], b[i]
+		i = min
+	}
+	q.buckets[q.cursor] = b
+	q.size--
+	return n
+}

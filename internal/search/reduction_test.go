@@ -101,7 +101,7 @@ func TestBoundsAdmissibleAtRoot(t *testing.T) {
 			for trial := 0; trial < 10; trial++ {
 				w := sampler.Uniform(6)
 				start := prob.Start(w)
-				h := s.heuristic(start, []byte(prob.Signature(start)), nil)
+				h := s.heuristic(newArena(), start, []byte(prob.Signature(start)), nil)
 				res, err := s.Solve(w, Options{})
 				if err != nil {
 					t.Fatal(err)

@@ -95,6 +95,24 @@ type MeanPenalty interface {
 	PenaltyMean(mean time.Duration) float64
 }
 
+// PenaltyHistoryFree reports whether the goal's penalty deltas are
+// independent of schedule history: adding a query outcome changes the
+// penalty by an amount that depends only on that outcome, never on the
+// outcomes already accumulated. This is exactly ClassDecomposable
+// (PerQuery, Max).
+//
+// The scheduling-graph search exploits it twice. First, history-free states
+// can share one static accumulator — the penalty-relevant part of an edge
+// weight, PeekAdd − Penalty, telescopes to the single-query penalty — so
+// expanding an edge allocates nothing for penalty tracking. Second, a
+// history-free accumulator appends no bytes to the state signature, so the
+// canonical suffix key (unassigned counts, open-VM type, queued wait) is
+// workload-independent and solved suffixes transfer across sample searches
+// (the transposition cache in internal/search).
+func PenaltyHistoryFree(g Goal) bool {
+	return g.Class() == ClassDecomposable
+}
+
 // overage returns how far latency exceeds deadline, or zero.
 func overage(latency, deadline time.Duration) time.Duration {
 	if latency > deadline {
