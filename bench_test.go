@@ -111,6 +111,19 @@ func BenchmarkFig22(b *testing.B) {
 }
 
 // BenchmarkTrainParallel measures offline model generation (§4.2: N
+// BenchmarkServeThroughput regenerates the multi-tenant serving throughput
+// table: K concurrent streams over the shared worker pool, steady-state
+// arrival path.
+func BenchmarkServeThroughput(b *testing.B) {
+	benchFig(b, (*experiments.Config).ServeThroughput)
+}
+
+// BenchmarkServeRecovery regenerates the shift-recovery table: injected
+// template-mix shift, EMD drift detection, synchronous retrain + hot swap.
+func BenchmarkServeRecovery(b *testing.B) {
+	benchFig(b, (*experiments.Config).ServeRecovery)
+}
+
 // independent exact searches) sequentially and on the worker pool. The two
 // runs produce bit-identical models — per-sample sub-seeds decouple sample i
 // from the workers that drew samples 0..i-1 — so the workers=GOMAXPROCS run

@@ -89,6 +89,10 @@ func run() int {
 		"fig20": wrap(cfg.Fig20),
 		"fig21": wrap(cfg.Fig21),
 		"fig22": wrap(cfg.Fig22),
+		// Serving-at-scale experiments (beyond the paper; EXPERIMENTS.md
+		// "Serving at scale").
+		"serve":    wrap(cfg.ServeThroughput),
+		"recovery": wrap(cfg.ServeRecovery),
 	}
 
 	args := flag.Args()
@@ -131,7 +135,9 @@ func wrap(f func() (*experiments.Table, error)) func() error {
 
 func figNum(name string) int {
 	var n int
-	fmt.Sscanf(name, "fig%d", &n)
+	if _, err := fmt.Sscanf(name, "fig%d", &n); err != nil {
+		return 100 // non-figure experiments (serve, recovery) run last
+	}
 	return n
 }
 
@@ -146,5 +152,9 @@ Regenerates the evaluation figures of the WiSeDB paper (VLDB 2016, §7):
   fig13  WiSeDB vs FFD/FFI/Pack9                    fig20  skewed workloads
   fig14  training time vs #templates                fig21  skew vs cost range
   fig15  training time vs #VM types                 fig22  latency prediction error
+
+Serving-at-scale experiments (beyond the paper):
+  serve     multi-tenant serving throughput (K streams, p50/p99, SLA violations)
+  recovery  injected mix shift: drift detection via EMD + model hot-swap recovery
 `)
 }

@@ -9,17 +9,22 @@
 //	wisedb [flags] schedule   # train + schedule a random batch, print costs
 //	wisedb [flags] recommend  # derive k service tiers with cost estimates
 //	wisedb [flags] online     # simulate an online arrival stream
+//	wisedb [flags] serve      # drive K concurrent tenant streams (load generator)
 //
 // Common flags select the goal (-goal max|perquery|average|percentile), the
 // environment (-templates, -vmtypes), training scale (-samples, -size), and
-// the workload (-queries, -seed).
+// the workload (-queries, -seed). serve adds -streams, -skew / -shift-at
+// (inject a template-mix shift mid-stream), and -drift-window (detect it via
+// EMD and hot-swap an adapted model).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"wisedb"
@@ -37,8 +42,12 @@ func main() {
 	queries := flag.Int("queries", 100, "workload size for schedule/online")
 	seed := flag.Int64("seed", 1, "random seed")
 	tiers := flag.Int("k", 3, "service tiers for recommend")
-	delay := flag.Duration("delay", 10*time.Second, "inter-arrival delay for online")
-	parallelism := flag.Int("parallelism", 0, "training worker goroutines (0 = all cores)")
+	delay := flag.Duration("delay", 10*time.Second, "inter-arrival delay for online/serve")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for training and serve streams (0 = all cores)")
+	streams := flag.Int("streams", 16, "concurrent tenant streams for serve")
+	skew := flag.Float64("skew", 0, "serve: template-mix skew injected mid-stream (0 = no shift, up to 1)")
+	shiftAt := flag.Float64("shift-at", 0.5, "serve: fraction of each stream after which the mix shifts")
+	driftWindow := flag.Int("drift-window", 48, "serve: sliding-histogram size for EMD drift detection (0 = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -113,9 +122,101 @@ func main() {
 		fmt.Printf("advisor overhead %s total (%d retrainings, %d adaptations, %d cache hits)\n",
 			res.SchedulingTime.Round(time.Millisecond), res.Retrainings, res.Adaptations, res.CacheHits)
 
+	case "serve":
+		model := mustTrain(advisor, goal)
+		serve(model, templates, serveConfig{
+			streams: *streams, queries: *queries, delay: *delay, seed: *seed,
+			skew: *skew, shiftAt: *shiftAt, driftWindow: *driftWindow,
+			parallelism: *parallelism,
+		})
+
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// serveConfig bundles the load-generator knobs of the serve mode.
+type serveConfig struct {
+	streams, queries         int
+	delay                    time.Duration
+	seed                     int64
+	skew, shiftAt            float64
+	driftWindow, parallelism int
+}
+
+// serve drives K concurrent tenant streams through one serving engine at
+// full speed (virtual arrival clocks, real concurrency) and reports
+// throughput, tail advisor latency, SLA violations, and — when a mix shift
+// is injected — the registry's drift detections and hot swaps.
+func serve(model *wisedb.Model, templates []wisedb.Template, cfg serveConfig) {
+	opts := wisedb.DefaultOnlineOptions()
+	opts.Drift = wisedb.DriftOptions{Window: cfg.driftWindow}
+	engine := wisedb.NewOnlineScheduler(model, opts)
+
+	ws := make([]*wisedb.Workload, cfg.streams)
+	shift := int(float64(cfg.queries) * cfg.shiftAt)
+	k := len(templates)
+	for i := range ws {
+		sampler := wisedb.NewSampler(templates, cfg.seed+int64(i)*101)
+		var queries []wisedb.Query
+		if cfg.skew > 0 {
+			head := sampler.Uniform(shift)
+			tail := sampler.Weighted(cfg.queries-shift, wisedb.SkewWeights(k, cfg.skew, k-1))
+			queries = append(queries, head.Queries...)
+			for _, q := range tail.Queries {
+				q.Tag += shift
+				queries = append(queries, q)
+			}
+		} else {
+			queries = sampler.Uniform(cfg.queries).Queries
+		}
+		arrivals := make([]time.Duration, len(queries))
+		for j := range arrivals {
+			arrivals[j] = time.Duration(j) * cfg.delay
+		}
+		w := &wisedb.Workload{Templates: templates, Queries: queries}
+		ws[i] = w.WithArrivals(arrivals)
+	}
+
+	start := time.Now()
+	results, err := engine.RunStreams(context.Background(), ws, cfg.parallelism)
+	elapsed := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine.Registry().Wait() // drain any background retrain before reporting
+
+	totalArrivals, rented := 0, 0
+	cost := 0.0
+	var advisor []time.Duration
+	var driftTriggers int
+	for _, res := range results {
+		totalArrivals += len(res.PerArrival)
+		rented += res.VMsRented
+		cost += res.Cost
+		advisor = append(advisor, res.PerArrival...)
+		driftTriggers += res.DriftTriggers
+	}
+	sort.Slice(advisor, func(i, j int) bool { return advisor[i] < advisor[j] })
+	pct := func(p float64) time.Duration {
+		if len(advisor) == 0 {
+			return 0
+		}
+		idx := int(p / 100 * float64(len(advisor)-1))
+		return advisor[idx]
+	}
+
+	fmt.Printf("served %d streams x %d queries in %s: %.0f arrivals/sec\n",
+		cfg.streams, cfg.queries, elapsed.Round(time.Millisecond),
+		float64(totalArrivals)/elapsed.Seconds())
+	fmt.Printf("advisor latency p50 %s  p99 %s; %d VMs rented, total cost %.2f¢\n",
+		pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond), rented, cost)
+	stats := engine.Registry().Stats()
+	fmt.Printf("model lifecycle: %d drift triggers, %d retrains, %d hot swaps, final epoch %d, %d derived-model builds\n",
+		driftTriggers, stats.Triggers, stats.Swaps, stats.Epoch, engine.CacheStats())
+	if stats.LastErr != nil {
+		fmt.Printf("last retrain error: %v\n", stats.LastErr)
 	}
 }
 

@@ -106,8 +106,8 @@ func TestSimSequentialExecution(t *testing.T) {
 	sim := NewSim()
 	vt := DefaultVMTypes(1)[0]
 	vm := sim.Rent(vt, 0)
-	vm.Enqueue(0, 0, 2*time.Minute)
-	vm.Enqueue(1, 1, 3*time.Minute)
+	vm.Enqueue(0, 0, 0, 2*time.Minute)
+	vm.Enqueue(1, 1, 0, 3*time.Minute)
 	runs := sim.Finish()
 	if len(runs) != 2 {
 		t.Fatalf("want 2 runs, got %d", len(runs))
@@ -125,9 +125,9 @@ func TestSimRevokeUnstarted(t *testing.T) {
 	sim := NewSim()
 	vt := DefaultVMTypes(1)[0]
 	vm := sim.Rent(vt, 0)
-	vm.Enqueue(0, 0, 2*time.Minute)
-	vm.Enqueue(1, 0, 2*time.Minute)
-	vm.Enqueue(2, 0, 2*time.Minute)
+	vm.Enqueue(0, 0, 0, 2*time.Minute)
+	vm.Enqueue(1, 0, 0, 2*time.Minute)
+	vm.Enqueue(2, 0, 0, 2*time.Minute)
 	// At startupDelay+1m, query 0 is running; 1 and 2 have not started.
 	tags := vm.RevokeUnstarted(vt.StartupDelay + time.Minute)
 	if len(tags) != 2 || tags[0] != 1 || tags[1] != 2 {
@@ -143,7 +143,7 @@ func TestSimRevokeAtExactStartBoundary(t *testing.T) {
 	sim := NewSim()
 	vt := DefaultVMTypes(1)[0]
 	vm := sim.Rent(vt, 0)
-	vm.Enqueue(0, 0, time.Minute)
+	vm.Enqueue(0, 0, 0, time.Minute)
 	// A query whose start time equals the observation time has not
 	// started and is revocable.
 	tags := vm.RevokeUnstarted(vt.StartupDelay)
@@ -159,8 +159,8 @@ func TestSimBusyUntilAndNextFree(t *testing.T) {
 	if free := vm.NextFree(0); free != vt.StartupDelay {
 		t.Fatalf("fresh VM free at startup delay, got %s", free)
 	}
-	vm.Enqueue(0, 0, 2*time.Minute)
-	vm.Enqueue(1, 0, time.Minute)
+	vm.Enqueue(0, 0, 0, 2*time.Minute)
+	vm.Enqueue(1, 0, 0, time.Minute)
 	at := vt.StartupDelay + time.Minute // query 0 running
 	if busy := vm.BusyUntil(at); busy != vt.StartupDelay+3*time.Minute {
 		t.Fatalf("busy until all queued work done: got %s", busy)
@@ -170,11 +170,40 @@ func TestSimBusyUntilAndNextFree(t *testing.T) {
 	}
 }
 
+// A query enqueued onto an idle VM must start at its enqueue instant, not
+// retroactively at the VM's last idle moment — backdated starts produced
+// negative latencies (End < Arrival) in steady-state online streams where
+// VMs idle between arrivals.
+func TestSimEnqueueOnIdleVMStartsAtEnqueueTime(t *testing.T) {
+	sim := NewSim()
+	vt := DefaultVMTypes(1)[0]
+	vm := sim.Rent(vt, 0)
+	vm.Enqueue(0, 0, 0, time.Minute)
+	// The VM idles from startupDelay+1m until the second query arrives at
+	// t=30m.
+	at := 30 * time.Minute
+	vm.Enqueue(1, 0, at, time.Minute)
+	runs := sim.Finish()
+	if len(runs) != 2 {
+		t.Fatalf("want 2 runs, got %d", len(runs))
+	}
+	if runs[1].Start != at || runs[1].End != at+time.Minute {
+		t.Fatalf("idle-VM query must run at its enqueue time [%s,%s], got [%s,%s]",
+			at, at+time.Minute, runs[1].Start, runs[1].End)
+	}
+	// BusyUntil accounts for the idle gap too.
+	vm2 := sim.Rent(vt, 0)
+	vm2.Enqueue(2, 0, time.Hour, time.Minute)
+	if busy := vm2.BusyUntil(0); busy != time.Hour+time.Minute {
+		t.Fatalf("BusyUntil across an idle gap: want %s, got %s", time.Hour+time.Minute, busy)
+	}
+}
+
 func TestSimProvisioningCost(t *testing.T) {
 	sim := NewSim()
 	vt := DefaultVMTypes(1)[0]
 	vm := sim.Rent(vt, 0)
-	vm.Enqueue(0, 0, time.Hour)
+	vm.Enqueue(0, 0, 0, time.Hour)
 	sim.Finish()
 	want := vt.StartupCost + vt.RatePerHour
 	if got := sim.ProvisioningCost(); math.Abs(got-want) > 1e-9 {
@@ -187,8 +216,8 @@ func TestSimRunsOrderedByCompletion(t *testing.T) {
 	vt := DefaultVMTypes(1)[0]
 	a := sim.Rent(vt, 0)
 	b := sim.Rent(vt, 0)
-	a.Enqueue(0, 0, 3*time.Minute)
-	b.Enqueue(1, 0, time.Minute)
+	a.Enqueue(0, 0, 0, 3*time.Minute)
+	b.Enqueue(1, 0, 0, time.Minute)
 	runs := sim.Finish()
 	if runs[0].Tag != 1 || runs[1].Tag != 0 {
 		t.Fatalf("runs must be ordered by completion: %v", runs)

@@ -34,6 +34,7 @@ type Run struct {
 type queued struct {
 	tag        int
 	templateID int
+	at         time.Duration // when the query joined the queue
 	latency    time.Duration
 }
 
@@ -60,13 +61,19 @@ func (s *Sim) Rent(vt VMType, at time.Duration) *SimVM {
 // VMs returns the rented VMs in rental order.
 func (s *Sim) VMs() []*SimVM { return s.vms }
 
-// Enqueue appends a query with the given true execution latency to the VM's
-// processing queue.
-func (vm *SimVM) Enqueue(tag, templateID int, latency time.Duration) {
+// Enqueue appends a query to the VM's processing queue at simulation time
+// at, with the given true execution latency. The query cannot start before
+// at: an idle VM picks it up at the enqueue instant, not retroactively at
+// its last idle moment. Enqueue times must be non-decreasing per VM (the
+// online engine's event times are monotonic).
+func (vm *SimVM) Enqueue(tag, templateID int, at, latency time.Duration) {
 	if latency <= 0 {
 		panic(fmt.Sprintf("cloud: Enqueue with non-positive latency %s for tag %d", latency, tag))
 	}
-	vm.queue = append(vm.queue, queued{tag: tag, templateID: templateID, latency: latency})
+	if n := len(vm.queue); n > 0 && at < vm.queue[n-1].at {
+		panic(fmt.Sprintf("cloud: Enqueue at %s after an enqueue at %s (tag %d)", at, vm.queue[n-1].at, tag))
+	}
+	vm.queue = append(vm.queue, queued{tag: tag, templateID: templateID, at: at, latency: latency})
 }
 
 // materialize converts queued queries whose start time is strictly before t
@@ -78,11 +85,21 @@ func (vm *SimVM) materialize(t time.Duration) {
 		if n := len(vm.runs); n > 0 && vm.runs[n-1].End > start {
 			start = vm.runs[n-1].End
 		}
+		if at := vm.queue[0].at; at > start {
+			// The VM idled until the query arrived; execution cannot be
+			// backdated to before submission.
+			start = at
+		}
 		if start >= t {
 			return
 		}
 		q := vm.queue[0]
-		vm.queue = vm.queue[1:]
+		// Pop by shifting down, not by advancing the slice header: an
+		// advanced header abandons the front of the backing array, and the
+		// next Enqueue would regrow it — one allocation per arrival in the
+		// online steady state. Queues are short (the unstarted backlog).
+		copy(vm.queue, vm.queue[1:])
+		vm.queue = vm.queue[:len(vm.queue)-1]
 		vm.runs = append(vm.runs, Run{Tag: q.tag, TemplateID: q.templateID, Start: start, End: start + q.latency})
 	}
 }
@@ -97,6 +114,9 @@ func (vm *SimVM) BusyUntil(t time.Duration) time.Duration {
 		busy = vm.runs[n-1].End
 	}
 	for _, q := range vm.queue {
+		if q.at > busy {
+			busy = q.at
+		}
 		busy += q.latency
 	}
 	return busy

@@ -97,6 +97,9 @@ func (m *Model) adapt(ctx context.Context, goal sla.Goal, keep bool) (*Model, er
 		env:     m.env,
 		prob:    runtimeProblem(m.env, goal),
 		samples: samples,
+		// Adaptation re-solves the same sample workloads, so the adapted
+		// model serves the same arrival mix.
+		trainingMix: m.trainingMix,
 	}
 	adapted.servingTables() // compile the serving form at adapt time
 	return adapted, nil
@@ -116,11 +119,18 @@ func (m *Model) Tighten(p float64) (*Model, error) {
 // scheduling queries that have waited d equals scheduling fresh queries
 // under a goal tightened by d).
 func (m *Model) ShiftedModel(d time.Duration) (*Model, error) {
+	return m.ShiftedModelContext(context.Background(), d)
+}
+
+// ShiftedModelContext is ShiftedModel with cancellation: online streams
+// thread their run context through model acquisition so a cancelled stream
+// does not leave an adaptation running.
+func (m *Model) ShiftedModelContext(ctx context.Context, d time.Duration) (*Model, error) {
 	if !m.Goal.Shiftable() {
 		return nil, fmt.Errorf("core: goal %s is not linearly shiftable", m.Goal.Name())
 	}
 	if d == 0 {
 		return m, nil
 	}
-	return m.adapt(context.Background(), m.Goal.Shift(d), false)
+	return m.adapt(ctx, m.Goal.Shift(d), false)
 }

@@ -42,6 +42,12 @@ type TrainConfig struct {
 	// sub-seed derived from (Seed, i), so the same Seed yields the same
 	// model at every Parallelism.
 	Seed int64
+	// SampleWeights, when non-nil, draws sample-workload queries from the
+	// weighted template distribution instead of the uniform one (§4.2 uses
+	// uniform direct sampling; drift-adapted models are re-trained on the
+	// observed arrival mix). Must have one non-negative weight per
+	// template with a positive sum.
+	SampleWeights []float64
 	// Parallelism is the number of worker goroutines solving sample
 	// workloads concurrently; 0 selects runtime.GOMAXPROCS(0). Results
 	// are identical for every value.
@@ -136,6 +142,21 @@ func NewAdvisor(env *schedule.Env, cfg TrainConfig) (*Advisor, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.SampleWeights != nil {
+		if len(cfg.SampleWeights) != len(env.Templates) {
+			return nil, fmt.Errorf("core: TrainConfig.SampleWeights has %d weights for %d templates", len(cfg.SampleWeights), len(env.Templates))
+		}
+		total := 0.0
+		for i, w := range cfg.SampleWeights {
+			if w < 0 {
+				return nil, fmt.Errorf("core: TrainConfig.SampleWeights[%d] is negative (%g)", i, w)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return nil, errors.New("core: TrainConfig.SampleWeights must have a positive sum")
+		}
+	}
 	return &Advisor{env: env, cfg: cfg}, nil
 }
 
@@ -190,6 +211,13 @@ type Model struct {
 	env     *schedule.Env
 	prob    *graph.Problem
 	samples []trainSample
+	// trainingMix is the normalized template distribution the sample
+	// workloads were drawn from: uniform unless the model was trained with
+	// SampleWeights (drift-adapted models target the observed arrival
+	// mix). The drift detector compares live arrival histograms against
+	// it. Nil for directly constructed models (tests); TrainingMix()
+	// falls back to uniform.
+	trainingMix []float64
 
 	// serveOnce builds serve, the precomputed serving tables (compiled
 	// tree + fresh-VM cost matrix); Train/Adapt build them eagerly,
@@ -203,6 +231,43 @@ type Model struct {
 
 // Env returns the environment the model is bound to.
 func (m *Model) Env() *schedule.Env { return m.env }
+
+// TrainingMix returns a copy of the normalized template distribution the
+// model's sample workloads were drawn from — the arrival mix it was built to
+// serve. Models trained without SampleWeights (and directly constructed
+// ones) report the uniform distribution.
+func (m *Model) TrainingMix() []float64 {
+	if m.trainingMix != nil {
+		return append([]float64(nil), m.trainingMix...)
+	}
+	return uniformMix(len(m.env.Templates))
+}
+
+// uniformMix returns the uniform distribution over k templates.
+func uniformMix(k int) []float64 {
+	mix := make([]float64, k)
+	for i := range mix {
+		mix[i] = 1 / float64(k)
+	}
+	return mix
+}
+
+// normalizedMix returns weights scaled to sum to 1, or the uniform mix for
+// nil weights.
+func normalizedMix(weights []float64, k int) []float64 {
+	if weights == nil {
+		return uniformMix(k)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	mix := make([]float64, len(weights))
+	for i, w := range weights {
+		mix[i] = w / total
+	}
+	return mix
+}
 
 // Train generates a decision model for the goal (§4): it samples N random
 // workloads of m queries, solves each exactly on the scheduling graph,
@@ -245,7 +310,13 @@ func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, erro
 	solutions := make([]sampleSolution, a.cfg.NumSamples)
 	err = solveSamples(ctx, a.cfg.Parallelism, a.cfg.NumSamples, cache,
 		func(i int, cache *search.TranspositionCache, rec *search.PendingSuffixes) error {
-			w := workload.NewSampler(a.env.Templates, deriveSeed(a.cfg.Seed, i)).Uniform(a.cfg.SampleSize)
+			sampler := workload.NewSampler(a.env.Templates, deriveSeed(a.cfg.Seed, i))
+			var w *workload.Workload
+			if a.cfg.SampleWeights != nil {
+				w = sampler.Weighted(a.cfg.SampleSize, a.cfg.SampleWeights)
+			} else {
+				w = sampler.Uniform(a.cfg.SampleSize)
+			}
 			res, err := searcher.Solve(w, search.Options{
 				MaxExpansions: a.cfg.MaxExpansions,
 				KeepClosed:    a.cfg.KeepTrainingData,
@@ -283,9 +354,10 @@ func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, erro
 		TrainingRows:      ds.Len(),
 		TrainingConfig:    a.cfg,
 		TrainingCacheHits: cacheHits, TrainingCacheMisses: cacheMisses,
-		env:     a.env,
-		prob:    runtimeProblem(a.env, goal),
-		samples: samples,
+		env:         a.env,
+		prob:        runtimeProblem(a.env, goal),
+		samples:     samples,
+		trainingMix: normalizedMix(a.cfg.SampleWeights, len(a.env.Templates)),
 	}
 	m.servingTables() // compile the serving form at train time
 	return m, nil

@@ -32,13 +32,26 @@ import (
 // time and O(1) amortized allocations per query, at any number of
 // concurrent callers.
 func (m *Model) ScheduleBatch(w *workload.Workload) (*schedule.Schedule, error) {
+	sched, _, err := m.scheduleBatchInto(w, nil, nil)
+	return sched, err
+}
+
+// scheduleBatchInto is ScheduleBatch writing into caller-owned storage: dst
+// (the schedule skeleton) and backing (the array shared by every VM queue)
+// are recycled when their capacity suffices, so a caller that consumes each
+// schedule before requesting the next — the online stream core does, it
+// maps the schedule onto simulator VMs immediately — pays zero steady-state
+// allocations per call. Nil dst/backing allocate fresh storage, which is
+// exactly ScheduleBatch. The returned backing must be passed back in on the
+// next call.
+func (m *Model) scheduleBatchInto(w *workload.Workload, dst *schedule.Schedule, backing []schedule.Placed) (*schedule.Schedule, []schedule.Placed, error) {
 	k := len(m.env.Templates)
 	if len(w.Templates) != k {
-		return nil, fmt.Errorf("core: workload has %d templates, model expects %d", len(w.Templates), k)
+		return nil, backing, fmt.Errorf("core: workload has %d templates, model expects %d", len(w.Templates), k)
 	}
 	for _, q := range w.Queries {
 		if q.TemplateID < 0 || q.TemplateID >= k {
-			return nil, fmt.Errorf("core: query tag %d references unknown template %d", q.Tag, q.TemplateID)
+			return nil, backing, fmt.Errorf("core: query tag %d references unknown template %d", q.Tag, q.TemplateID)
 		}
 	}
 	tables := m.servingTables()
@@ -49,7 +62,7 @@ func (m *Model) ScheduleBatch(w *workload.Workload) (*schedule.Schedule, error) 
 	maxSteps := 2*len(w.Queries) + 1
 	for steps := 0; !state.IsGoal(); steps++ {
 		if steps > maxSteps {
-			return nil, fmt.Errorf("core: scheduler failed to make progress after %d steps", steps)
+			return nil, backing, fmt.Errorf("core: scheduler failed to make progress after %d steps", steps)
 		}
 		sc.feat = sc.fs.AppendTo(sc.feat[:0], state)
 		act := graph.ActionFromLabel(tables.compiled.Predict(sc.feat), k)
@@ -68,9 +81,9 @@ func (m *Model) ScheduleBatch(w *workload.Workload) (*schedule.Schedule, error) 
 		sc.fs.Apply(act)
 		sc.actions = append(sc.actions, act)
 	}
-	sched := buildSchedule(sc.actions, len(w.Queries))
+	sched, backing := buildScheduleInto(dst, backing, sc.actions, len(w.Queries))
 	sc.retag(sched, w)
-	return sched, nil
+	return sched, backing, nil
 }
 
 // repair coerces a predicted action into a valid one. Valid predictions

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -283,19 +284,40 @@ func TestOnlineModelReuseCache(t *testing.T) {
 	opts.Retrain.NumSamples = 20
 	opts.Retrain.SampleSize = 5
 	o := NewOnlineScheduler(base, opts)
-	m1, err := o.shiftedModel(30 * time.Second)
+	s := o.NewStream(&SimClock{})
+	epoch := o.Registry().Current()
+	ctx := context.Background()
+	m1, err := s.shiftedModel(ctx, epoch, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := o.shiftedModel(30 * time.Second)
+	m2, err := s.shiftedModel(ctx, epoch, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m1 != m2 {
 		t.Fatal("identical wait buckets must reuse the shifted model")
 	}
-	if o.res.CacheHits != 1 || o.res.Adaptations != 1 {
-		t.Fatalf("want 1 adaptation + 1 hit, got %d/%d", o.res.Adaptations, o.res.CacheHits)
+	if s.res.CacheHits != 1 || s.res.Adaptations != 1 {
+		t.Fatalf("want 1 adaptation + 1 hit, got %d/%d", s.res.Adaptations, s.res.CacheHits)
+	}
+
+	// A second stream of the same engine acquiring the same key must not
+	// rebuild the model (shared ω-map, one build), while its own counters
+	// record a first acquisition.
+	s2 := o.NewStream(&SimClock{})
+	m3, err := s2.shiftedModel(ctx, epoch, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 != m1 {
+		t.Fatal("streams of one engine must share the ω-map")
+	}
+	if s2.res.Adaptations != 1 || s2.res.CacheHits != 0 {
+		t.Fatalf("second stream: want 1 adaptation + 0 hits, got %d/%d", s2.res.Adaptations, s2.res.CacheHits)
+	}
+	if got := o.CacheStats(); got != 1 {
+		t.Fatalf("engine built %d shifted models, want 1 (duplicate suppression)", got)
 	}
 
 	// Augmented-model cache: same (template, wait) pattern on a
@@ -307,16 +329,18 @@ func TestOnlineModelReuseCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	oa := NewOnlineScheduler(avgBase, opts)
-	oa.arrival[0] = 0
-	oa.template[0] = 1
-	if _, err := oa.scheduleAugmented(30*time.Second, []int{0}); err != nil {
+	sa := oa.NewStream(&SimClock{})
+	sa.ensureTag(0)
+	sa.tags[0] = tagState{arrival: 0, template: 1}
+	aEpoch := oa.Registry().Current()
+	if _, err := sa.scheduleAugmented(ctx, aEpoch, 30*time.Second, []int{0}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := oa.scheduleAugmented(30*time.Second, []int{0}); err != nil {
+	if _, err := sa.scheduleAugmented(ctx, aEpoch, 30*time.Second, []int{0}); err != nil {
 		t.Fatal(err)
 	}
-	if oa.res.Retrainings != 1 || oa.res.CacheHits != 1 {
-		t.Fatalf("want 1 retraining + 1 hit, got %d/%d", oa.res.Retrainings, oa.res.CacheHits)
+	if sa.res.Retrainings != 1 || sa.res.CacheHits != 1 {
+		t.Fatalf("want 1 retraining + 1 hit, got %d/%d", sa.res.Retrainings, sa.res.CacheHits)
 	}
 }
 

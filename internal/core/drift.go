@@ -1,0 +1,116 @@
+package core
+
+import (
+	"wisedb/internal/stats"
+)
+
+// DriftOptions configures per-stream workload-drift detection (§6: the
+// advisor must keep performing as the workload shifts). Each stream
+// maintains a sliding histogram of its recent arrivals' templates; when the
+// Earth Mover's Distance between that histogram and the serving epoch's
+// training mix crosses Threshold, the stream asks the engine's registry for
+// a retrain toward the observed mix, and the result is hot-swapped in.
+type DriftOptions struct {
+	// Window is the number of recent arrivals in the sliding histogram.
+	// Zero disables drift detection (the default).
+	Window int
+	// Threshold is the EMD trigger level, in template-index units (see
+	// stats.EMDHist; templates are ordered by base latency). Zero selects
+	// DefaultDriftThreshold.
+	Threshold float64
+	// MinArrivals is the number of arrivals a stream must observe before
+	// it may trigger — a cold histogram is all noise. Zero selects Window.
+	MinArrivals int
+	// Synchronous retrains inline during the triggering arrival (the swap
+	// is visible to the very next scheduling decision) instead of in the
+	// background. Deterministic, at the price of stalling that one
+	// arrival; experiments and determinism tests use it.
+	Synchronous bool
+}
+
+// DefaultDriftThreshold is the EMD trigger level when DriftOptions.Threshold
+// is zero: half a template-index of mass displacement, comfortably above
+// sampling noise for windows of a few dozen arrivals yet crossed quickly by
+// real mix shifts.
+const DefaultDriftThreshold = 0.5
+
+// enabled reports whether drift detection is on.
+func (d DriftOptions) enabled() bool { return d.Window > 0 }
+
+// normalized fills zero-valued fields with defaults.
+func (d DriftOptions) normalized() DriftOptions {
+	if d.Threshold == 0 {
+		d.Threshold = DefaultDriftThreshold
+	}
+	if d.MinArrivals == 0 {
+		d.MinArrivals = d.Window
+	}
+	return d
+}
+
+// driftDetector is the per-stream sliding template-arrival histogram. All
+// methods are allocation-free except mix — observe runs on the per-arrival
+// hot path.
+type driftDetector struct {
+	opts driftRuntimeOpts
+	ring []int32   // last Window template IDs, circular
+	hist []float64 // counts over templates; sums to min(seen, Window)
+	head int       // next ring slot to overwrite
+	seen int       // total arrivals observed
+}
+
+// driftRuntimeOpts is DriftOptions after normalization.
+type driftRuntimeOpts struct {
+	window      int
+	threshold   float64
+	minArrivals int
+}
+
+// newDriftDetector returns a detector over k templates, or nil when
+// detection is disabled.
+func newDriftDetector(k int, opts DriftOptions) *driftDetector {
+	if !opts.enabled() {
+		return nil
+	}
+	o := opts.normalized()
+	return &driftDetector{
+		opts: driftRuntimeOpts{window: o.Window, threshold: o.Threshold, minArrivals: o.MinArrivals},
+		ring: make([]int32, o.Window),
+		hist: make([]float64, k),
+	}
+}
+
+// reset clears the detector for stream reuse.
+func (d *driftDetector) reset() {
+	for i := range d.hist {
+		d.hist[i] = 0
+	}
+	d.head = 0
+	d.seen = 0
+}
+
+// observe records an arrival's template, then compares the sliding
+// histogram against baseline (the serving epoch's training mix): it returns
+// the current EMD and whether it crosses the trigger threshold. Once the
+// serving mix catches up with the arrivals — after a hot swap — the EMD
+// falls back under the threshold and the detector goes quiet on its own.
+func (d *driftDetector) observe(tpl int, baseline []float64) (emd float64, drifted bool) {
+	if d.seen >= d.opts.window {
+		d.hist[d.ring[d.head]]--
+	}
+	d.ring[d.head] = int32(tpl)
+	d.hist[tpl]++
+	d.head++
+	if d.head == d.opts.window {
+		d.head = 0
+	}
+	d.seen++
+	emd = stats.EMDHist(d.hist, baseline)
+	return emd, d.seen >= d.opts.minArrivals && emd > d.opts.threshold
+}
+
+// mix returns the normalized observed histogram — the target distribution a
+// drift retrain trains toward. Called only on trigger, so it may allocate.
+func (d *driftDetector) mix() []float64 {
+	return normalizedMix(d.hist, len(d.hist))
+}

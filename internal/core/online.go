@@ -2,11 +2,14 @@ package core
 
 import (
 	"cmp"
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wisedb/internal/cloud"
@@ -15,11 +18,14 @@ import (
 	"wisedb/internal/workload"
 )
 
-// OnlineOptions tunes online scheduling (§6.3).
+// OnlineOptions tunes online scheduling (§6.3) and the serving engine built
+// around it.
 type OnlineOptions struct {
 	// Reuse enables the model-reuse optimization (§6.3.1): models built
 	// for a given pattern of query waits (the ω-map) are cached and
-	// reused when the same pattern recurs.
+	// reused when the same pattern recurs. The cache is shared by every
+	// stream of the engine, with duplicate builds suppressed — when two
+	// tenants need the same model at once, exactly one builds it.
 	Reuse bool
 	// Shift enables the linear-shifting optimization (§6.3.1): for
 	// shiftable goals (Max, PerQuery), a batch whose queries have waited
@@ -35,10 +41,14 @@ type OnlineOptions struct {
 	// optimization applies. A zero value (NumSamples == 0) re-trains at
 	// the base model's own scale — the paper's unoptimized baseline.
 	Retrain TrainConfig
+	// Drift configures workload-drift detection and model hot-swapping
+	// (§6's adaptive loop). Disabled by default; see DriftOptions.
+	Drift DriftOptions
 }
 
 // DefaultOnlineOptions enables both optimizations and re-trains augmented
 // models at the base model's scale when training from scratch is required.
+// Drift detection stays off; enable it by setting Drift.Window.
 func DefaultOnlineOptions() OnlineOptions {
 	return OnlineOptions{
 		Reuse:          true,
@@ -47,7 +57,7 @@ func DefaultOnlineOptions() OnlineOptions {
 	}
 }
 
-// OnlineResult reports the outcome of scheduling an arrival stream.
+// OnlineResult reports the outcome of scheduling one arrival stream.
 type OnlineResult struct {
 	// Cost is the total monetary cost in cents: start-up fees,
 	// processing fees, and the goal penalty over true query latencies
@@ -64,9 +74,36 @@ type OnlineResult struct {
 	SchedulingTime time.Duration
 	// PerArrival holds the advisor time of each arrival event.
 	PerArrival []time.Duration
-	// Retrainings counts models built from scratch; Adaptations counts
-	// models derived by shifting; CacheHits counts ω-map reuses.
+	// Retrainings counts distinct augmented models this stream acquired
+	// from scratch; Adaptations counts distinct models it acquired by
+	// shifting; CacheHits counts re-acquisitions of a model the stream
+	// had already used. The counters are stream-local — and therefore
+	// deterministic for a fixed arrival sequence at any engine
+	// concurrency — while the engine's shared ω-map dedups the actual
+	// builds across streams underneath (see OnlineScheduler.CacheStats).
 	Retrainings, Adaptations, CacheHits int
+	// DriftTriggers counts drift retrains this stream started;
+	// DriftTriggerArrivals records the arrival-event index of each (the
+	// shift-recovery experiment reads detection latency off it).
+	DriftTriggers        int
+	DriftTriggerArrivals []int
+	// Outcomes records every completed query — tag, arrival, and
+	// execution bounds — ordered by completion. Perf is its latency
+	// projection; Outcomes is what throughput and recovery analyses
+	// consume (per-tag exactly-once accounting across hot swaps).
+	Outcomes []Outcome
+	// FinalEpoch is the registry epoch serving when the stream finished
+	// (0 = the base model was never swapped).
+	FinalEpoch uint64
+}
+
+// Outcome is one completed query of an online stream.
+type Outcome struct {
+	// Tag and TemplateID identify the query.
+	Tag, TemplateID int
+	// Arrival is when the query was submitted; Start and End bound its
+	// execution on the simulated VM. True latency is End − Arrival.
+	Arrival, Start, End time.Duration
 }
 
 // augKey identifies a "new template" (§6.3): an original template plus a
@@ -76,52 +113,37 @@ type augKey struct {
 	wait     time.Duration
 }
 
-// OnlineScheduler schedules queries one at a time (§6.3) using a base model
-// and an execution simulator: each arrival re-batches every query that has
-// not started executing, inflates waited queries' latencies as "new
-// templates" (or shifts the goal, when enabled), obtains a model for the
-// augmented specification, and re-schedules the batch.
+// OnlineScheduler is the multi-tenant online serving engine (§6.3,
+// productionized): it owns the model lifecycle (a ModelRegistry holding the
+// hot-swappable serving epoch), the shared ω-map of derived models, and a
+// pool of per-stream state. Each tenant stream — a Stream created by
+// NewStream, or one run of Run/RunContext/RunStreams — carries its own
+// simulator, arrival bookkeeping, and scratch, so any number of streams
+// proceed concurrently with no serialization beyond the rare shared model
+// build.
 //
-// An OnlineScheduler is safe for concurrent use: Run serializes whole
-// streams behind a mutex (the simulator and model caches are stateful), and
-// the base Model it wraps may simultaneously serve batch scheduling from
-// other goroutines. For concurrent independent streams, give each its own
-// OnlineScheduler over one shared base Model.
+// An OnlineScheduler is safe for concurrent use.
 type OnlineScheduler struct {
-	base *Model
 	opts OnlineOptions
+	env  *schedule.Env
+	goal sla.Goal
 
-	mu        sync.Mutex // guards everything below
-	sim       *cloud.Sim
-	arrival   map[int]time.Duration // query tag -> arrival time
-	template  map[int]int           // query tag -> original template
-	shiftedBy map[time.Duration]*Model
-	augmented map[string]*Model
-	res       *OnlineResult
+	registry *ModelRegistry
+	cache    modelCache
+	pool     sync.Pool // *Stream
+	active   atomic.Int64
 
-	// Persistent per-stream scratch: the arrival loop re-batches and
-	// re-places on every event, and these buffers keep that machinery
-	// allocation-free in steady state instead of rebuilding maps and
-	// candidate sets from scratch each arrival.
-	batch    []int            // revoked + newly arrived tags
-	queries  []workload.Query // batch rendered as workload queries
-	wl       workload.Workload
-	cands    [][]vmCandidate // per VM type, idle-soonest placement candidates
-	candNext []int           // per VM type, cursor of the next unused candidate
+	// retrainCtx governs background drift retrains: they outlive the
+	// triggering stream so other tenants benefit from the swap.
+	retrainCtx context.Context
 
-	// placeStarted, when non-nil, is invoked at the top of place; tests
-	// use it to pin that simulator placement runs outside the timed
+	// placeStarted, when non-nil, is invoked at the top of every place;
+	// tests use it to pin that simulator placement runs outside the timed
 	// advisor window (§6.3's overhead metric excludes execution).
-	placeStarted func()
+	placeStarted func(res *OnlineResult)
 }
 
-// vmCandidate is an active physical VM considered for an abstract VM slot.
-type vmCandidate struct {
-	vm   *cloud.SimVM
-	free time.Duration
-}
-
-// NewOnlineScheduler returns a scheduler driven by the base model. The
+// NewOnlineScheduler returns a serving engine over the base model. The
 // Shift optimization additionally requires the base model to retain
 // training data (KeepTrainingData) and a shiftable goal.
 func NewOnlineScheduler(base *Model, opts OnlineOptions) *OnlineScheduler {
@@ -132,90 +154,372 @@ func NewOnlineScheduler(base *Model, opts OnlineOptions) *OnlineScheduler {
 		opts.Retrain = base.TrainingConfig
 		opts.Retrain.KeepTrainingData = false
 	}
-	return &OnlineScheduler{
-		base:      base,
-		opts:      opts,
-		sim:       cloud.NewSim(),
-		arrival:   map[int]time.Duration{},
-		template:  map[int]int{},
-		shiftedBy: map[time.Duration]*Model{},
-		augmented: map[string]*Model{},
-		res:       &OnlineResult{},
+	o := &OnlineScheduler{
+		opts:       opts,
+		env:        base.env,
+		goal:       base.Goal,
+		registry:   NewModelRegistry(base),
+		retrainCtx: context.Background(),
 	}
+	o.cache.init()
+	// A hot swap retires every derived model of older epochs: their cache
+	// keys can never be requested again.
+	o.registry.onSwap = func(e *ModelEpoch) { o.cache.evictBefore(e.Epoch) }
+	return o
 }
 
-// Run schedules the workload's queries at their arrival times and simulates
-// execution to completion. Concurrent Run calls are serialized.
+// Registry returns the engine's model lifecycle subsystem: the current
+// serving epoch, hot-swap entry points, and retrain statistics.
+func (o *OnlineScheduler) Registry() *ModelRegistry { return o.registry }
+
+// ActiveStreams returns the number of streams currently open (acquired and
+// neither finished nor cancelled).
+func (o *OnlineScheduler) ActiveStreams() int64 { return o.active.Load() }
+
+// CacheStats reports the shared ω-map's build counter: how many derived
+// (shifted or augmented) models the engine actually trained, across all
+// streams and epochs. Compare against the per-stream Adaptations and
+// Retrainings counters to see cross-tenant deduplication at work.
+func (o *OnlineScheduler) CacheStats() (builds int64) { return o.cache.builds.Load() }
+
+// Run schedules the workload's queries at their recorded arrival times and
+// simulates execution to completion. Many Run calls may proceed
+// concurrently; each gets its own stream.
 func (o *OnlineScheduler) Run(w *workload.Workload) (*OnlineResult, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if len(w.Templates) != len(o.base.env.Templates) {
-		return nil, fmt.Errorf("core: online workload has %d templates, model expects %d", len(w.Templates), len(o.base.env.Templates))
+	return o.RunContext(context.Background(), w)
+}
+
+// RunContext is Run with cancellation: between arrival events (and inside
+// any model acquisition) a cancelled ctx aborts the stream, releases its
+// simulated VMs, and returns ctx.Err().
+func (o *OnlineScheduler) RunContext(ctx context.Context, w *workload.Workload) (*OnlineResult, error) {
+	if len(w.Templates) != len(o.env.Templates) {
+		return nil, fmt.Errorf("core: online workload has %d templates, model expects %d", len(w.Templates), len(o.env.Templates))
 	}
-	queries := append([]workload.Query(nil), w.Queries...)
-	sort.SliceStable(queries, func(i, j int) bool { return queries[i].Arrival < queries[j].Arrival })
-	for i := 0; i < len(queries); {
-		// Queries arriving at the same instant form one batch event.
-		t := queries[i].Arrival
-		var arrived []workload.Query
-		for i < len(queries) && queries[i].Arrival == t {
-			arrived = append(arrived, queries[i])
-			i++
+	clk := &SimClock{}
+	s := o.acquireStream(clk)
+	defer o.releaseStream(s)
+	s.Reserve(len(w.Queries))
+	q := newArrivalQueue(w.Queries)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		if err := o.onArrival(t, arrived); err != nil {
+		t, batch, ok := q.next()
+		if !ok {
+			break
+		}
+		clk.Advance(t)
+		if err := s.Submit(ctx, batch...); err != nil {
 			return nil, err
 		}
 	}
-	o.finish()
-	return o.res, nil
+	return s.Finish(), nil
 }
 
-// onArrival handles one arrival event at time t (§6.3): revoke unstarted
-// queries, form the batch B_i, obtain a model for the waited queries, and
-// re-schedule.
+// RunStreams schedules many independent tenant streams concurrently over a
+// bounded worker pool (parallelism <= 0 selects GOMAXPROCS; the pool is the
+// same engine training uses). Results are positional. Per-stream results
+// are deterministic for any parallelism: each stream's schedule depends
+// only on its own arrivals and the (deterministically built) models, and
+// the stream-local counters never observe engine scheduling. The first
+// stream error cancels the remaining streams.
+func (o *OnlineScheduler) RunStreams(ctx context.Context, streams []*workload.Workload, parallelism int) ([]*OnlineResult, error) {
+	results := make([]*OnlineResult, len(streams))
+	err := forEach(ctx, parallelism, len(streams), func(i int) error {
+		res, err := o.RunContext(ctx, streams[i])
+		if err != nil {
+			return fmt.Errorf("core: online stream %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// NewStream opens an event-driven tenant stream against the engine: the
+// caller submits arrivals as they happen (Stream.Submit timestamps each
+// event with the clock) and closes with Stream.Finish. Use a SimClock the
+// driver advances for virtual time, or a WallClock for live serving —
+// the stream core is identical.
+func (o *OnlineScheduler) NewStream(clock Clock) *Stream {
+	return o.acquireStream(clock)
+}
+
+// tagState is the per-query bookkeeping of a stream, indexed by query tag.
+// template is −1 for tags the stream has not seen.
+type tagState struct {
+	arrival  time.Duration
+	template int32
+}
+
+// Stream is one tenant's arrival stream: per-stream simulator, per-query
+// bookkeeping, drift detector, and scratch buffers. Streams of one engine
+// share its model registry and ω-map but nothing mutable, so they run
+// concurrently without locks on the arrival path.
+//
+// A Stream is single-owner: one goroutine submits and finishes it. Query
+// tags must be small non-negative integers (bookkeeping is indexed by tag);
+// the samplers' dense 0..n−1 tags are ideal.
+type Stream struct {
+	eng   *OnlineScheduler
+	clock Clock
+	sim   *cloud.Sim
+	res   *OnlineResult
+	drift *driftDetector
+	tags  []tagState
+	last  time.Duration // latest event time; Submit clamps to monotonic
+	done  bool
+
+	// seenShifted/seenAug track which derived models this stream has
+	// already acquired, making the CacheHits/Adaptations/Retrainings
+	// counters stream-local and scheduling-independent.
+	seenShifted map[shiftKey]struct{}
+	seenAug     map[augModelKey]struct{}
+
+	// Persistent scratch: the arrival loop re-batches, re-schedules, and
+	// re-places on every event, and these buffers keep that machinery
+	// allocation-free in steady state.
+	batch    []int            // revoked + newly arrived tags
+	queries  []workload.Query // batch rendered as workload queries
+	wl       workload.Workload
+	cands    [][]vmCandidate // per VM type, idle-soonest placement candidates
+	candNext []int           // per VM type, cursor of the next unused candidate
+	sched    *schedule.Schedule
+	backing  []schedule.Placed
+}
+
+// vmCandidate is an active physical VM considered for an abstract VM slot.
+type vmCandidate struct {
+	vm   *cloud.SimVM
+	free time.Duration
+}
+
+// acquireStream draws a reset stream from the engine's pool.
+func (o *OnlineScheduler) acquireStream(clock Clock) *Stream {
+	s, _ := o.pool.Get().(*Stream)
+	if s == nil {
+		s = &Stream{
+			eng:         o,
+			seenShifted: map[shiftKey]struct{}{},
+			seenAug:     map[augModelKey]struct{}{},
+		}
+	}
+	s.clock = clock
+	s.sim = cloud.NewSim()
+	s.res = &OnlineResult{}
+	s.tags = s.tags[:0]
+	s.last = 0
+	s.done = false
+	clear(s.seenShifted)
+	clear(s.seenAug)
+	if o.opts.Drift.enabled() {
+		if s.drift == nil {
+			s.drift = newDriftDetector(len(o.env.Templates), o.opts.Drift)
+		} else {
+			s.drift.reset()
+		}
+	} else {
+		s.drift = nil
+	}
+	o.active.Add(1)
+	return s
+}
+
+// releaseStream returns a stream's scratch to the pool. The stream's result
+// (if finished) stays valid — results are never pooled. A stream released
+// before Finish counts as cancelled: its simulator, and with it every
+// rented VM, is dropped.
+func (o *OnlineScheduler) releaseStream(s *Stream) {
+	if !s.done {
+		o.active.Add(-1)
+	}
+	s.sim = nil
+	s.res = nil
+	s.clock = nil
+	o.pool.Put(s)
+}
+
+// Reserve preallocates the stream's bookkeeping for a run of n queries with
+// tags in [0, n): with capacity in place, the steady-state arrival path
+// performs zero allocations (pinned by TestOnlineArrivalSteadyStateAllocFree).
+func (s *Stream) Reserve(n int) {
+	if cap(s.tags) < n {
+		tags := make([]tagState, len(s.tags), n)
+		copy(tags, s.tags)
+		s.tags = tags
+	}
+	if cap(s.res.PerArrival) < n {
+		perArrival := make([]time.Duration, len(s.res.PerArrival), n)
+		copy(perArrival, s.res.PerArrival)
+		s.res.PerArrival = perArrival
+	}
+	if cap(s.batch) < n {
+		s.batch = make([]int, 0, n)
+	}
+	if cap(s.queries) < n {
+		s.queries = make([]workload.Query, 0, n)
+	}
+	if cap(s.backing) < n {
+		s.backing = make([]schedule.Placed, 0, n)
+	}
+}
+
+// ensureTag grows the tag table to cover tag, marking new slots unseen.
+func (s *Stream) ensureTag(tag int) {
+	for len(s.tags) <= tag {
+		s.tags = append(s.tags, tagState{template: -1})
+	}
+}
+
+// Submit delivers one arrival event — every query in arrived is stamped
+// with the stream clock's current time and the unstarted backlog is
+// re-scheduled (§6.3). ctx bounds any model acquisition the event needs.
+// Submit is the clock-agnostic stream core: the workload replay drivers and
+// live wall-clock serving both funnel through it.
+func (s *Stream) Submit(ctx context.Context, arrived ...workload.Query) error {
+	if s.done {
+		return errors.New("core: Submit on a finished stream")
+	}
+	if len(arrived) == 0 {
+		return nil
+	}
+	t := s.clock.Now()
+	if t < s.last {
+		t = s.last // wall clocks are monotonic; SimClock panics on rewind
+	}
+	s.last = t
+	return s.onArrival(ctx, t, arrived)
+}
+
+// Finish drains the stream's simulation and returns the final result: total
+// cost, the goal's penalty over true latencies (completion − arrival), and
+// the per-arrival advisor overhead. The stream cannot be used afterwards.
+func (s *Stream) Finish() *OnlineResult {
+	if s.done {
+		return s.res
+	}
+	s.done = true
+	s.eng.active.Add(-1)
+	runs := s.sim.Finish()
+	perf := make([]sla.QueryPerf, len(runs))
+	outcomes := make([]Outcome, len(runs))
+	for i, r := range runs {
+		arrival := s.tags[r.Tag].arrival
+		perf[i] = sla.QueryPerf{TemplateID: r.TemplateID, Latency: r.End - arrival}
+		outcomes[i] = Outcome{Tag: r.Tag, TemplateID: r.TemplateID, Arrival: arrival, Start: r.Start, End: r.End}
+	}
+	res := s.res
+	res.Perf = perf
+	res.Outcomes = outcomes
+	res.Penalty = s.eng.goal.Penalty(perf)
+	res.Cost = s.sim.ProvisioningCost() + res.Penalty
+	res.FinalEpoch = s.eng.registry.Current().Epoch
+	return res
+}
+
+// onArrival handles one arrival event at time t (§6.3): observe the
+// arrivals for drift, revoke unstarted queries, form the batch B_i, obtain
+// a model for the waited queries, and re-schedule.
 //
 // Only model acquisition and tree parsing are timed — SchedulingTime and
 // PerArrival are the advisor-overhead metric of Fig. 19, and mapping the
 // schedule onto simulator VMs (place) stands in for the execution layer the
 // paper does not charge to the advisor (§6.3). TestOnlineTimingExcludesPlacement
 // pins placement outside the timed window.
-func (o *OnlineScheduler) onArrival(t time.Duration, arrived []workload.Query) error {
+func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workload.Query) error {
+	k := len(s.eng.env.Templates)
 	for _, q := range arrived {
-		o.arrival[q.Tag] = t
-		o.template[q.Tag] = q.TemplateID
+		if q.Tag < 0 {
+			return fmt.Errorf("core: online arrival with negative tag %d", q.Tag)
+		}
+		if q.TemplateID < 0 || q.TemplateID >= k {
+			return fmt.Errorf("core: query tag %d references unknown template %d", q.Tag, q.TemplateID)
+		}
 	}
-	o.batch = o.batch[:0]
-	for _, vm := range o.sim.VMs() {
-		o.batch = vm.RevokeUnstartedInto(t, o.batch)
+	// Load the serving epoch once per event: everything this arrival does
+	// uses it, so a hot swap landing mid-event cannot split the batch
+	// between two models.
+	epoch := s.eng.registry.Current()
+	if s.drift != nil {
+		for _, q := range arrived {
+			if _, drifted := s.drift.observe(q.TemplateID, epoch.Mix); drifted {
+				swapped, err := s.triggerDrift(ctx)
+				if err != nil {
+					return err
+				}
+				if swapped {
+					epoch = s.eng.registry.Current()
+				}
+			}
+		}
 	}
 	for _, q := range arrived {
-		o.batch = append(o.batch, q.Tag)
+		s.ensureTag(q.Tag)
+		s.tags[q.Tag] = tagState{arrival: t, template: int32(q.TemplateID)}
 	}
-	slices.Sort(o.batch)
+	s.batch = s.batch[:0]
+	for _, vm := range s.sim.VMs() {
+		s.batch = vm.RevokeUnstartedInto(t, s.batch)
+	}
+	for _, q := range arrived {
+		s.batch = append(s.batch, q.Tag)
+	}
+	slices.Sort(s.batch)
 
 	begin := time.Now()
-	sched, err := o.scheduleBatch(t, o.batch)
+	sched, err := s.scheduleBatch(ctx, epoch, t, s.batch)
 	elapsed := time.Since(begin)
 	if err != nil {
 		return err
 	}
-	o.res.SchedulingTime += elapsed
-	o.res.PerArrival = append(o.res.PerArrival, elapsed)
-	return o.place(t, sched)
+	s.res.SchedulingTime += elapsed
+	s.res.PerArrival = append(s.res.PerArrival, elapsed)
+	return s.place(t, sched)
+}
+
+// triggerDrift asks the registry to retrain toward the stream's observed
+// mix. In synchronous mode the swap has landed when it returns true; in
+// background mode it returns false and the swap arrives at a later event.
+func (s *Stream) triggerDrift(ctx context.Context) (swapped bool, err error) {
+	r := s.eng.registry
+	if s.eng.opts.Drift.Synchronous {
+		err := r.RetrainNow(ctx, s.drift.mix())
+		switch {
+		case err == nil:
+			s.res.DriftTriggers++
+			s.res.DriftTriggerArrivals = append(s.res.DriftTriggerArrivals, len(s.res.PerArrival))
+			return true, nil
+		case errors.Is(err, errRetrainInFlight):
+			// Another stream's synchronous retrain is running; its swap
+			// will serve us too.
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+	if r.TriggerRetrain(s.eng.retrainCtx, s.drift.mix()) {
+		s.res.DriftTriggers++
+		s.res.DriftTriggerArrivals = append(s.res.DriftTriggerArrivals, len(s.res.PerArrival))
+	}
+	return false, nil
 }
 
 // waitBucket floors a wait to the configured resolution.
-func (o *OnlineScheduler) waitBucket(w time.Duration) time.Duration {
-	return w - w%o.opts.WaitResolution
+func (s *Stream) waitBucket(w time.Duration) time.Duration {
+	return w - w%s.eng.opts.WaitResolution
 }
 
 // scheduleBatch obtains a model appropriate for the batch's wait pattern
 // and produces an abstract schedule whose Placed tags are real query tags.
-func (o *OnlineScheduler) scheduleBatch(t time.Duration, batch []int) (*schedule.Schedule, error) {
+func (s *Stream) scheduleBatch(ctx context.Context, epoch *ModelEpoch, t time.Duration, batch []int) (*schedule.Schedule, error) {
 	maxWait := time.Duration(0)
 	allFresh := true
 	for _, tag := range batch {
-		w := o.waitBucket(t - o.arrival[tag])
+		w := s.waitBucket(t - s.tags[tag].arrival)
 		if w > 0 {
 			allFresh = false
 		}
@@ -225,34 +529,44 @@ func (o *OnlineScheduler) scheduleBatch(t time.Duration, batch []int) (*schedule
 	}
 	switch {
 	case allFresh:
-		return o.scheduleWith(o.base, batch)
-	case o.opts.Shift && o.base.Goal.Shiftable():
-		m, err := o.shiftedModel(maxWait)
+		return s.scheduleWith(epoch.Model, batch)
+	case s.eng.opts.Shift && epoch.Model.Goal.Shiftable():
+		m, err := s.shiftedModel(ctx, epoch, maxWait)
 		if err != nil {
 			return nil, err
 		}
-		return o.scheduleWith(m, batch)
+		return s.scheduleWith(m, batch)
 	default:
-		return o.scheduleAugmented(t, batch)
+		return s.scheduleAugmented(ctx, epoch, t, batch)
 	}
 }
 
-// shiftedModel returns a model for the goal shifted by w, adapting the base
-// model (§5) and caching by bucket when Reuse is on.
-func (o *OnlineScheduler) shiftedModel(w time.Duration) (*Model, error) {
-	if o.opts.Reuse {
-		if m, ok := o.shiftedBy[w]; ok {
-			o.res.CacheHits++
-			return m, nil
+// shiftedModel returns a model for the goal shifted by w, adapting the
+// epoch's model (§5). With Reuse on, the engine-wide ω-map dedups builds
+// across streams (exactly one stream adapts; the rest wait for the entry),
+// while the stream-local counters record whether *this* stream had used the
+// model before.
+func (s *Stream) shiftedModel(ctx context.Context, epoch *ModelEpoch, w time.Duration) (*Model, error) {
+	if !s.eng.opts.Reuse {
+		m, err := epoch.Model.ShiftedModelContext(ctx, w)
+		if err != nil {
+			return nil, err
 		}
+		s.res.Adaptations++
+		return m, nil
 	}
-	m, err := o.base.ShiftedModel(w)
+	key := shiftKey{epoch: epoch.Epoch, wait: w}
+	m, err := getOrBuild(&s.eng.cache, s.eng.cache.shifted, key, ctx, func() (*Model, error) {
+		return epoch.Model.ShiftedModelContext(ctx, w)
+	})
 	if err != nil {
 		return nil, err
 	}
-	o.res.Adaptations++
-	if o.opts.Reuse {
-		o.shiftedBy[w] = m
+	if _, ok := s.seenShifted[key]; ok {
+		s.res.CacheHits++
+	} else {
+		s.seenShifted[key] = struct{}{}
+		s.res.Adaptations++
 	}
 	return m, nil
 }
@@ -262,15 +576,15 @@ func (o *OnlineScheduler) shiftedModel(w time.Duration) (*Model, error) {
 // template whose latency is inflated by the wait, a model is trained for
 // the augmented specification (or fetched from the ω-map when Reuse is on),
 // and the batch is scheduled against it.
-func (o *OnlineScheduler) scheduleAugmented(t time.Duration, batch []int) (*schedule.Schedule, error) {
-	base := o.base.env.Templates
+func (s *Stream) scheduleAugmented(ctx context.Context, epoch *ModelEpoch, t time.Duration, batch []int) (*schedule.Schedule, error) {
+	base := epoch.Model.env.Templates
 	augID := map[augKey]int{}
 	templates := append([]workload.Template(nil), base...)
 	queryTemplate := make([]int, len(batch)) // batch index -> (augmented) template ID
 	var keyParts []string
 	for i, tag := range batch {
-		orig := o.template[tag]
-		w := o.waitBucket(t - o.arrival[tag])
+		orig := int(s.tags[tag].template)
+		w := s.waitBucket(t - s.tags[tag].arrival)
 		if w == 0 {
 			queryTemplate[i] = orig
 			continue
@@ -287,46 +601,57 @@ func (o *OnlineScheduler) scheduleAugmented(t time.Duration, batch []int) (*sche
 				BaseLatency: ot.BaseLatency + w,
 				HighRAM:     ot.HighRAM,
 			})
-			keyParts = append(keyParts, fmt.Sprintf("%d@%d", orig, w/o.opts.WaitResolution))
+			keyParts = append(keyParts, fmt.Sprintf("%d@%d", orig, w/s.eng.opts.WaitResolution))
 		}
 		queryTemplate[i] = id
 	}
 
 	sort.Strings(keyParts)
-	cacheKey := strings.Join(keyParts, ",")
-	var m *Model
-	if o.opts.Reuse {
-		if cached, ok := o.augmented[cacheKey]; ok {
-			o.res.CacheHits++
-			m = cached
-		}
-	}
-	if m == nil {
-		env := &schedule.Env{Templates: templates, VMTypes: o.base.env.VMTypes, Pred: o.base.env.Pred}
-		goal, err := augmentGoal(o.base.Goal, base, augID)
+	build := func() (*Model, error) {
+		env := &schedule.Env{Templates: templates, VMTypes: epoch.Model.env.VMTypes, Pred: epoch.Model.env.Pred}
+		goal, err := augmentGoal(epoch.Model.Goal, base, augID)
 		if err != nil {
 			return nil, err
 		}
-		adv, err := NewAdvisor(env, o.opts.Retrain)
+		adv, err := NewAdvisor(env, s.eng.opts.Retrain)
 		if err != nil {
 			return nil, fmt.Errorf("core: online augmented model: %w", err)
 		}
-		m, err = adv.Train(goal)
+		return adv.TrainContext(ctx, goal)
+	}
+	var m *Model
+	var err error
+	if s.eng.opts.Reuse {
+		key := augModelKey{epoch: epoch.Epoch, key: strings.Join(keyParts, ",")}
+		m, err = getOrBuild(&s.eng.cache, s.eng.cache.augmented, key, ctx, build)
 		if err != nil {
 			return nil, err
 		}
-		o.res.Retrainings++
-		if o.opts.Reuse {
-			o.augmented[cacheKey] = m
+		if _, ok := s.seenAug[key]; ok {
+			s.res.CacheHits++
+		} else {
+			s.seenAug[key] = struct{}{}
+			s.res.Retrainings++
 		}
+	} else {
+		m, err = build()
+		if err != nil {
+			return nil, err
+		}
+		s.res.Retrainings++
 	}
 
-	counts := make([]workload.Query, len(batch))
+	s.queries = s.queries[:0]
 	for i, tag := range batch {
-		counts[i] = workload.Query{TemplateID: queryTemplate[i], Tag: tag}
+		s.queries = append(s.queries, workload.Query{TemplateID: queryTemplate[i], Tag: tag})
 	}
-	w := &workload.Workload{Templates: m.env.Templates, Queries: counts}
-	return m.ScheduleBatch(w)
+	s.wl = workload.Workload{Templates: m.env.Templates, Queries: s.queries}
+	sched, backing, err := m.scheduleBatchInto(&s.wl, s.sched, s.backing)
+	if err != nil {
+		return nil, err
+	}
+	s.sched, s.backing = sched, backing
+	return sched, nil
 }
 
 // augmentGoal extends a goal to cover augmented templates. Workload-level
@@ -362,14 +687,20 @@ func augmentGoal(g sla.Goal, base []workload.Template, augID map[augKey]int) (sl
 }
 
 // scheduleWith runs the model's batch scheduler over real query tags using
-// the original template of each query.
-func (o *OnlineScheduler) scheduleWith(m *Model, batch []int) (*schedule.Schedule, error) {
-	o.queries = o.queries[:0]
+// the original template of each query, reusing the stream's schedule
+// skeleton.
+func (s *Stream) scheduleWith(m *Model, batch []int) (*schedule.Schedule, error) {
+	s.queries = s.queries[:0]
 	for _, tag := range batch {
-		o.queries = append(o.queries, workload.Query{TemplateID: o.template[tag], Tag: tag})
+		s.queries = append(s.queries, workload.Query{TemplateID: int(s.tags[tag].template), Tag: tag})
 	}
-	o.wl = workload.Workload{Templates: m.env.Templates, Queries: o.queries}
-	return m.ScheduleBatch(&o.wl)
+	s.wl = workload.Workload{Templates: m.env.Templates, Queries: s.queries}
+	sched, backing, err := m.scheduleBatchInto(&s.wl, s.sched, s.backing)
+	if err != nil {
+		return nil, err
+	}
+	s.sched, s.backing = sched, backing
+	return sched, nil
 }
 
 // place maps the abstract VMs of a schedule onto physical simulator VMs:
@@ -382,26 +713,26 @@ func (o *OnlineScheduler) scheduleWith(m *Model, batch []int) (*schedule.Schedul
 // type: the batch scheduler only emits supported placements, so an
 // unservable (template, VM type) pair here is a bug upstream — reported
 // loudly instead of being absorbed as an absurd simulated latency.
-func (o *OnlineScheduler) place(t time.Duration, sched *schedule.Schedule) error {
-	if o.placeStarted != nil {
-		o.placeStarted()
+func (s *Stream) place(t time.Duration, sched *schedule.Schedule) error {
+	if h := s.eng.placeStarted; h != nil {
+		h(s.res)
 	}
-	numTypes := len(o.base.env.VMTypes)
-	if cap(o.cands) < numTypes {
-		o.cands = make([][]vmCandidate, numTypes)
-		o.candNext = make([]int, numTypes)
+	numTypes := len(s.eng.env.VMTypes)
+	if cap(s.cands) < numTypes {
+		s.cands = make([][]vmCandidate, numTypes)
+		s.candNext = make([]int, numTypes)
 	}
-	o.cands = o.cands[:numTypes]
-	o.candNext = o.candNext[:numTypes]
-	for ti := range o.cands {
-		o.cands[ti] = o.cands[ti][:0]
-		o.candNext[ti] = 0
+	s.cands = s.cands[:numTypes]
+	s.candNext = s.candNext[:numTypes]
+	for ti := range s.cands {
+		s.cands[ti] = s.cands[ti][:0]
+		s.candNext[ti] = 0
 	}
-	for _, vm := range o.sim.VMs() {
-		o.cands[vm.Type.ID] = append(o.cands[vm.Type.ID], vmCandidate{vm: vm, free: vm.NextFree(t)})
+	for _, vm := range s.sim.VMs() {
+		s.cands[vm.Type.ID] = append(s.cands[vm.Type.ID], vmCandidate{vm: vm, free: vm.NextFree(t)})
 	}
-	for ti := range o.cands {
-		slices.SortFunc(o.cands[ti], func(a, b vmCandidate) int {
+	for ti := range s.cands {
+		slices.SortFunc(s.cands[ti], func(a, b vmCandidate) int {
 			return cmp.Compare(a.free, b.free)
 		})
 	}
@@ -410,35 +741,123 @@ func (o *OnlineScheduler) place(t time.Duration, sched *schedule.Schedule) error
 		// Consume candidates through a cursor, not by reslicing: an
 		// advanced slice header would abandon the front of the pooled
 		// backing array on every arrival and force periodic regrowth.
-		if next := o.candNext[avm.TypeID]; next < len(o.cands[avm.TypeID]) {
-			target = o.cands[avm.TypeID][next].vm
-			o.candNext[avm.TypeID]++
+		if next := s.candNext[avm.TypeID]; next < len(s.cands[avm.TypeID]) {
+			target = s.cands[avm.TypeID][next].vm
+			s.candNext[avm.TypeID]++
 		} else {
-			target = o.sim.Rent(o.base.env.VMTypes[avm.TypeID], t)
-			o.res.VMsRented++
+			target = s.sim.Rent(s.eng.env.VMTypes[avm.TypeID], t)
+			s.res.VMsRented++
 		}
 		for _, q := range avm.Queue {
-			orig := o.template[q.Tag]
-			lat, ok := o.base.env.Latency(orig, target.Type.ID)
+			orig := int(s.tags[q.Tag].template)
+			lat, ok := s.eng.env.Latency(orig, target.Type.ID)
 			if !ok {
 				return fmt.Errorf("core: online placement: template %d (query tag %d) cannot run on VM type %d", orig, q.Tag, target.Type.ID)
 			}
-			target.Enqueue(q.Tag, orig, lat)
+			target.Enqueue(q.Tag, orig, t, lat)
 		}
 	}
 	return nil
 }
 
-// finish drains the simulation and computes the final cost: provisioning
-// from the simulator plus the goal's penalty over true latencies
-// (completion − arrival).
-func (o *OnlineScheduler) finish() {
-	runs := o.sim.Finish()
-	perf := make([]sla.QueryPerf, len(runs))
-	for i, r := range runs {
-		perf[i] = sla.QueryPerf{TemplateID: r.TemplateID, Latency: r.End - o.arrival[r.Tag]}
+// shiftKey identifies a shifted model in the engine's ω-map: derived models
+// are keyed by the registry epoch of their base, so models adapted from a
+// superseded epoch are never served after a hot swap.
+type shiftKey struct {
+	epoch uint64
+	wait  time.Duration
+}
+
+// augModelKey identifies an augmented-template model in the ω-map.
+type augModelKey struct {
+	epoch uint64
+	key   string // sorted "template@waitBucket" pairs
+}
+
+// modelEntry is one ω-map slot. The builder closes done when the model (or
+// error) is in place; concurrent requesters wait on it — duplicate
+// suppression across tenants.
+type modelEntry struct {
+	done chan struct{}
+	m    *Model
+	err  error
+}
+
+// modelCache is the engine-wide ω-map (§6.3.1) shared by every stream.
+type modelCache struct {
+	mu        sync.Mutex
+	shifted   map[shiftKey]*modelEntry
+	augmented map[augModelKey]*modelEntry
+	builds    atomic.Int64
+}
+
+func (c *modelCache) init() {
+	c.shifted = map[shiftKey]*modelEntry{}
+	c.augmented = map[augModelKey]*modelEntry{}
+}
+
+// evictBefore drops every entry derived from an epoch older than epoch.
+// Called on each hot swap: superseded derived models can never be served
+// again (cache keys embed the epoch), and without eviction a long-running
+// engine would pin every old base model — and its retained training data —
+// for its whole lifetime. Streams still mid-event on the old epoch hold
+// their entries directly, so eviction never invalidates an in-flight use.
+func (c *modelCache) evictBefore(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.shifted {
+		if k.epoch < epoch {
+			delete(c.shifted, k)
+		}
 	}
-	o.res.Perf = perf
-	o.res.Penalty = o.base.Goal.Penalty(perf)
-	o.res.Cost = o.sim.ProvisioningCost() + o.res.Penalty
+	for k := range c.augmented {
+		if k.epoch < epoch {
+			delete(c.augmented, k)
+		}
+	}
+}
+
+// getOrBuild returns the cached model for key, building it at most once at
+// a time across concurrent requesters. A failed build (including a
+// cancelled one) is evicted, and waiting requesters do not adopt the
+// failure — another tenant's cancelled context must not abort a healthy
+// stream — they retry, becoming the builder themselves or waiting on a
+// newer build. A builder always returns its own outcome, and a requester
+// whose own ctx expires returns its ctx error without waiting out a build.
+func getOrBuild[K comparable](c *modelCache, m map[K]*modelEntry, key K, ctx context.Context, build func() (*Model, error)) (*Model, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		e, ok := m[key]
+		if !ok {
+			e = &modelEntry{done: make(chan struct{})}
+			m[key] = e
+			c.mu.Unlock()
+			c.builds.Add(1)
+			e.m, e.err = build()
+			if e.err != nil {
+				c.mu.Lock()
+				// Evict only our own entry: a pruned-and-replaced slot
+				// belongs to a newer build.
+				if cur, ok := m[key]; ok && cur == e {
+					delete(m, key)
+				}
+				c.mu.Unlock()
+			}
+			close(e.done)
+			return e.m, e.err
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err == nil {
+				return e.m, nil
+			}
+			// The builder failed (perhaps its ctx was cancelled); retry.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }

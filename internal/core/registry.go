@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ModelEpoch is one immutable generation of a serving model: the model, a
+// monotonically increasing epoch number, and the normalized template-arrival
+// mix the model was trained to serve. Streams load the current epoch once
+// per arrival event; everything inside an epoch is read-only, so a loaded
+// epoch stays valid for the whole event even if a swap lands mid-arrival.
+type ModelEpoch struct {
+	// Model is the serving model of this epoch.
+	Model *Model
+	// Epoch numbers generations from 0 (the base model). Derived-model
+	// caches key by it, so models shifted or augmented from a superseded
+	// base are never served after a swap.
+	Epoch uint64
+	// Mix is the normalized template distribution the model targets. The
+	// per-stream drift detectors compare live arrival histograms against
+	// it — after a swap the detectors automatically re-baseline to the new
+	// epoch's mix.
+	Mix []float64
+}
+
+// RetrainFunc builds a replacement model for the observed arrival mix. cur
+// is the epoch that was current when the retrain was triggered.
+type RetrainFunc func(ctx context.Context, cur *ModelEpoch, mix []float64) (*Model, error)
+
+// ModelRegistry is the model lifecycle subsystem of the online engine
+// (§6's adaptive-modeling loop, productionized): it holds the current
+// serving epoch behind an atomic pointer, runs at most one drift retrain at
+// a time, and hot-swaps the result in without stalling arrivals. Streams
+// observe the swap at their next arrival event; in-flight events keep the
+// epoch they loaded, so no arrival is ever dropped or scheduled twice.
+//
+// A ModelRegistry is safe for concurrent use.
+type ModelRegistry struct {
+	cur     atomic.Pointer[ModelEpoch]
+	retrain RetrainFunc
+	// onSwap, when non-nil, runs after each epoch installation (under the
+	// swap lock). The serving engine uses it to evict derived models of
+	// superseded epochs from its ω-map.
+	onSwap func(*ModelEpoch)
+
+	// inFlight gates the single retrain slot; wg lets tests and shutdown
+	// drain a background retrain.
+	inFlight atomic.Bool
+	wg       sync.WaitGroup
+	swapMu   sync.Mutex // serializes epoch increments
+
+	triggers, swaps, failures atomic.Int64
+	lastErr                   atomic.Pointer[error]
+}
+
+// NewModelRegistry returns a registry serving base as epoch 0, with the
+// default drift response: re-train at the base model's own scale with
+// sample workloads drawn from the observed mix (see DriftRetrain).
+func NewModelRegistry(base *Model) *ModelRegistry {
+	if base == nil {
+		panic("core: NewModelRegistry requires a base model")
+	}
+	r := &ModelRegistry{retrain: DriftRetrain}
+	r.cur.Store(&ModelEpoch{Model: base, Epoch: 0, Mix: base.TrainingMix()})
+	return r
+}
+
+// SetRetrain replaces the drift response. Call before serving begins.
+func (r *ModelRegistry) SetRetrain(f RetrainFunc) { r.retrain = f }
+
+// Current returns the serving epoch. It never returns nil and never
+// allocates — it is on the per-arrival hot path.
+func (r *ModelRegistry) Current() *ModelEpoch { return r.cur.Load() }
+
+// Swap installs m as the next epoch and returns its number. mix is the
+// arrival mix the model targets; nil uses the model's own training mix.
+func (r *ModelRegistry) Swap(m *Model, mix []float64) uint64 {
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	if mix == nil {
+		mix = m.TrainingMix()
+	}
+	next := &ModelEpoch{Model: m, Epoch: r.cur.Load().Epoch + 1, Mix: mix}
+	r.cur.Store(next)
+	r.swaps.Add(1)
+	if r.onSwap != nil {
+		r.onSwap(next)
+	}
+	return next.Epoch
+}
+
+// TriggerRetrain starts a background retrain toward mix unless one is
+// already in flight, and reports whether this call started it. On success
+// the result is hot-swapped in; on failure the current epoch keeps serving
+// and the error is retained in Stats. The retrain runs under ctx — pass a
+// context that outlives the triggering arrival (the engine passes its
+// background context, not the stream's, so a finishing stream does not
+// abort a retrain other streams will benefit from).
+func (r *ModelRegistry) TriggerRetrain(ctx context.Context, mix []float64) bool {
+	if !r.inFlight.CompareAndSwap(false, true) {
+		return false
+	}
+	r.triggers.Add(1)
+	cur := r.Current()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer r.inFlight.Store(false)
+		r.runRetrain(ctx, cur, mix)
+	}()
+	return true
+}
+
+// errRetrainInFlight reports that RetrainNow found another retrain running;
+// callers treat it as "someone else is already handling this drift".
+var errRetrainInFlight = errors.New("core: a drift retrain is already in flight")
+
+// RetrainNow is TriggerRetrain running synchronously: the swap (or failure)
+// has happened by the time it returns. Streams configured with
+// DriftOptions.Synchronous use it so drift recovery is deterministic.
+func (r *ModelRegistry) RetrainNow(ctx context.Context, mix []float64) error {
+	if !r.inFlight.CompareAndSwap(false, true) {
+		return errRetrainInFlight
+	}
+	defer r.inFlight.Store(false)
+	r.triggers.Add(1)
+	return r.runRetrain(ctx, r.Current(), mix)
+}
+
+// runRetrain builds the replacement model and swaps it in.
+func (r *ModelRegistry) runRetrain(ctx context.Context, cur *ModelEpoch, mix []float64) error {
+	m, err := r.retrain(ctx, cur, mix)
+	if err != nil {
+		r.failures.Add(1)
+		r.lastErr.Store(&err)
+		return err
+	}
+	r.Swap(m, mix)
+	return nil
+}
+
+// Wait blocks until any background retrain has completed (swap included).
+func (r *ModelRegistry) Wait() { r.wg.Wait() }
+
+// RegistryStats is a snapshot of the registry's lifecycle counters.
+type RegistryStats struct {
+	// Epoch is the current serving generation (0 = base model).
+	Epoch uint64
+	// Triggers counts retrains started (background and synchronous);
+	// Swaps counts models installed; Failures counts retrains that
+	// errored without swapping.
+	Triggers, Swaps, Failures int64
+	// InFlight reports whether a background retrain is running.
+	InFlight bool
+	// LastErr is the most recent retrain failure, nil if none.
+	LastErr error
+}
+
+// Stats returns a consistent-enough snapshot for monitoring and tests.
+func (r *ModelRegistry) Stats() RegistryStats {
+	s := RegistryStats{
+		Epoch:    r.Current().Epoch,
+		Triggers: r.triggers.Load(),
+		Swaps:    r.swaps.Load(),
+		Failures: r.failures.Load(),
+		InFlight: r.inFlight.Load(),
+	}
+	if p := r.lastErr.Load(); p != nil {
+		s.LastErr = *p
+	}
+	return s
+}
+
+// DriftRetrain is the default drift response: re-train a model for the same
+// goal at the base model's own scale, drawing sample workloads from the
+// observed arrival mix instead of the uniform distribution. The new model
+// retains training data so the linear-shifting optimization keeps working
+// against it after the swap.
+func DriftRetrain(ctx context.Context, cur *ModelEpoch, mix []float64) (*Model, error) {
+	base := cur.Model
+	cfg := base.TrainingConfig
+	cfg.SampleWeights = mix
+	cfg.KeepTrainingData = true
+	adv, err := NewAdvisor(base.env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return adv.TrainContext(ctx, base.Goal)
+}

@@ -149,22 +149,39 @@ func (sc *servingScratch) retag(s *schedule.Schedule, w *workload.Workload) {
 	}
 }
 
-// buildSchedule materializes an action walk into an exactly-sized
+// buildScheduleInto materializes an action walk into an exactly-sized
 // Schedule: one allocation for the VM list and one backing array shared by
 // every queue (capacity-capped sub-slices, so appending to one queue can
 // never clobber a neighbor). It is graph.BuildSchedule minus the
 // incremental growth — the growslice traffic of the generic builder
 // dominated the serving profile once the walk itself stopped allocating.
 // Tags are left zero; retag overwrites them with the workload's.
-func buildSchedule(actions []graph.Action, numQueries int) *schedule.Schedule {
+//
+// A non-nil dst and a sufficiently large backing are recycled instead of
+// allocated: the online stream core consumes each schedule before asking
+// for the next, so its steady-state arrival path reuses one schedule
+// skeleton for the whole stream. Passing nil/nil allocates fresh storage.
+func buildScheduleInto(dst *schedule.Schedule, backing []schedule.Placed, actions []graph.Action, numQueries int) (*schedule.Schedule, []schedule.Placed) {
 	numVMs := 0
 	for _, a := range actions {
 		if a.Kind == graph.Startup {
 			numVMs++
 		}
 	}
-	s := &schedule.Schedule{VMs: make([]schedule.VM, 0, numVMs)}
-	backing := make([]schedule.Placed, 0, numQueries)
+	s := dst
+	if s == nil {
+		s = &schedule.Schedule{}
+	}
+	if cap(s.VMs) < numVMs {
+		s.VMs = make([]schedule.VM, 0, numVMs)
+	} else {
+		s.VMs = s.VMs[:0]
+	}
+	if cap(backing) < numQueries {
+		backing = make([]schedule.Placed, 0, numQueries)
+	} else {
+		backing = backing[:0]
+	}
 	segStart := 0
 	closeOpen := func() {
 		if len(s.VMs) > 0 {
@@ -185,7 +202,7 @@ func buildSchedule(actions []graph.Action, numQueries int) *schedule.Schedule {
 		}
 	}
 	closeOpen()
-	return s
+	return s, backing
 }
 
 // resizeInts returns s with length n and every element zeroed, reusing the

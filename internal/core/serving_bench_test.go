@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -83,5 +84,40 @@ func BenchmarkOnlineArrival(b *testing.B) {
 	b.StopTimer()
 	if b.N > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(arrivals), "ns/arrival")
+	}
+}
+
+// BenchmarkOnlineMultiStream measures the multi-tenant serving engine: K
+// concurrent tenant streams over the shared worker pool, fresh-batch
+// arrivals (the steady-state path). arrivals/sec is the headline throughput
+// metric CI persists in BENCH_serving.json; the streams=1 case is the
+// single-tenant baseline the 16-stream acceptance bar compares against.
+func BenchmarkOnlineMultiStream(b *testing.B) {
+	m := benchModel(b)
+	const n = 60
+	for _, streams := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			ws := make([]*workload.Workload, streams)
+			for i := range ws {
+				w := workload.NewSampler(m.Env().Templates, int64(17+i)).Uniform(n)
+				ws[i] = w.WithArrivals(workload.FixedDelayArrivals(n, 7*time.Minute))
+			}
+			o := NewOnlineScheduler(m, DefaultOnlineOptions())
+			if _, err := o.RunStreams(context.Background(), ws, 0); err != nil {
+				b.Fatal(err) // warm pools before measuring
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.RunStreams(context.Background(), ws, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				perSec := float64(b.N*streams*n) / b.Elapsed().Seconds()
+				b.ReportMetric(perSec, "arrivals/sec")
+			}
+		})
 	}
 }

@@ -77,9 +77,9 @@ func TestOnlineTimingExcludesPlacement(t *testing.T) {
 	}
 	o := NewOnlineScheduler(m, DefaultOnlineOptions())
 	placeCalls := 0
-	o.placeStarted = func() {
+	o.placeStarted = func(res *OnlineResult) {
 		placeCalls++
-		if got := len(o.res.PerArrival); got != placeCalls {
+		if got := len(res.PerArrival); got != placeCalls {
 			t.Errorf("place for arrival %d started with %d PerArrival entries recorded; timing must close before placement", placeCalls, got)
 		}
 	}
@@ -115,11 +115,13 @@ func TestOnlinePlaceRejectsUnservablePair(t *testing.T) {
 	o := NewOnlineScheduler(m, DefaultOnlineOptions())
 	// Template 1 is high-RAM: "tiny" cannot run it. Hand place a schedule
 	// that claims otherwise.
-	o.template[7] = 1
+	s := o.NewStream(&SimClock{})
+	s.ensureTag(7)
+	s.tags[7] = tagState{template: 1}
 	sched := &schedule.Schedule{VMs: []schedule.VM{
 		{TypeID: 0, Queue: []schedule.Placed{{TemplateID: 1, Tag: 7}}},
 	}}
-	if err := o.place(0, sched); err == nil {
+	if err := s.place(0, sched); err == nil {
 		t.Fatal("place accepted an unservable (template, VM type) pair")
 	}
 }

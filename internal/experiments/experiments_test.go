@@ -33,6 +33,8 @@ func TestAllFiguresQuick(t *testing.T) {
 		{"fig20", 4, cfg.Fig20},
 		{"fig21", len(skewLevels), cfg.Fig21},
 		{"fig22", 4, cfg.Fig22},
+		{"serve", 3, cfg.ServeThroughput},
+		{"recovery", 3, cfg.ServeRecovery},
 	}
 	for _, f := range figs {
 		f := f

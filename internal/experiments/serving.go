@@ -1,0 +1,209 @@
+// Serving-at-scale experiments: the multi-tenant online engine under load.
+// These go beyond the paper's single-stream Figs. 18-19 toward the ROADMAP
+// north star — a serving engine for many concurrent tenant streams with
+// drift-triggered model hot-swapping (§6's adaptive loop, productionized).
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wisedb/internal/core"
+	"wisedb/internal/sla"
+	"wisedb/internal/stats"
+	"wisedb/internal/workload"
+)
+
+// ServeThroughput measures multi-tenant serving throughput: K concurrent
+// fixed-seed tenant streams over the engine's shared worker pool, reporting
+// total arrival throughput, speedup over the single-stream baseline, the
+// p50/p99 per-arrival advisor latency, and the SLA violation rate. Arrival
+// gaps exceed query latencies, so every arrival takes the steady-state
+// fresh-batch path — this is the serving-machinery ceiling, not a model-
+// acquisition benchmark (Fig. 19 covers that).
+func (c *Config) ServeThroughput() (*Table, error) {
+	s := c.newSetup(c.pick(10, 5), 2)
+	goal := s.goal("Max").(sla.MaxLatency)
+	base, err := c.model(s.env, goal)
+	if err != nil {
+		return nil, err
+	}
+	n := c.pick(300, 60)
+	t := &Table{
+		Title:  fmt.Sprintf("Serving throughput: K tenant streams x %d arrivals (steady-state path)", n),
+		Header: []string{"streams", "arrivals/s", "speedup", "p50 advisor", "p99 advisor", "SLA viol."},
+	}
+	baseline := 0.0
+	for _, k := range []int{1, 4, 16} {
+		ws := make([]*workload.Workload, k)
+		for i := range ws {
+			w := workload.NewSampler(s.env.Templates, c.Seed+int64(i)*101).Uniform(n)
+			ws[i] = w.WithArrivals(workload.FixedDelayArrivals(n, 7*time.Minute))
+		}
+		o := core.NewOnlineScheduler(base, core.DefaultOnlineOptions())
+		if _, err := o.RunStreams(context.Background(), ws, 0); err != nil {
+			return nil, err // warm the engine's stream pool and scratch
+		}
+		start := time.Now()
+		results, err := o.RunStreams(context.Background(), ws, 0)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		perSec := float64(k*n) / elapsed.Seconds()
+		if k == 1 {
+			baseline = perSec
+		}
+		var advisor []float64
+		violations, completed := 0, 0
+		for _, res := range results {
+			for _, d := range res.PerArrival {
+				advisor = append(advisor, float64(d.Nanoseconds()))
+			}
+			for _, out := range res.Outcomes {
+				completed++
+				if out.End-out.Arrival > goal.Deadline {
+					violations++
+				}
+			}
+		}
+		if completed != k*n {
+			return nil, fmt.Errorf("experiments: %d streams completed %d of %d arrivals", k, completed, k*n)
+		}
+		t.AddRow(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.0f", perSec),
+			fmt.Sprintf("%.2fx", perSec/baseline),
+			durUS(stats.Percentile(advisor, 50)),
+			durUS(stats.Percentile(advisor, 99)),
+			fmt.Sprintf("%.1f%%", 100*float64(violations)/float64(completed)))
+	}
+	t.Note("fixed-seed streams; zero dropped arrivals checked per run; speedup tracks core count (see EXPERIMENTS.md for the recorded runner)")
+	t.Fprint(c.Out)
+	return t, nil
+}
+
+// durUS renders nanoseconds as rounded microseconds.
+func durUS(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// ServeRecovery injects a template-mix shift into tenant streams and
+// reports the drift-recovery trajectory: each stream starts on the uniform
+// mix the base model was trained for, then flips to a 90%-skewed mix; the
+// stream's detector crosses the EMD threshold, the registry retrains toward
+// the observed mix (synchronously here, so the run is reproducible), and
+// the adapted model is hot-swapped in. The table splits arrivals into the
+// three phases around detection.
+//
+// Each tenant gets its own engine so every stream's detection is
+// observable; on a shared engine the first tenant's swap recovers everyone
+// (that path is pinned by TestHotSwapNoDroppedArrivals).
+func (c *Config) ServeRecovery() (*Table, error) {
+	s := c.newSetup(c.pick(8, 5), 1)
+	goal := s.goal("Max").(sla.MaxLatency)
+	base, err := c.model(s.env, goal)
+	if err != nil {
+		return nil, err
+	}
+	k := len(s.env.Templates)
+	streams := c.pick(8, 4)
+	uniform, skewed := c.pick(120, 40), c.pick(180, 60)
+	gap := 7 * time.Minute
+
+	opts := core.DefaultOnlineOptions()
+	opts.Drift = core.DriftOptions{Window: c.pick(48, 24), Threshold: 1.2, Synchronous: true}
+
+	type phase struct {
+		name                string
+		arrivals, violation int
+		latency             time.Duration
+		advisor             time.Duration
+	}
+	phases := []phase{{name: "uniform mix (before shift)"}, {name: "shifted mix, pre-detection"}, {name: "shifted mix, post-swap"}}
+	detectLag, completed := 0, 0
+	var triggers, swaps int64
+	var lastMix []float64
+	var retrainTime time.Duration
+	for i := 0; i < streams; i++ {
+		seed := c.Seed + int64(i)*131
+		head := workload.NewSampler(s.env.Templates, seed).Uniform(uniform)
+		tail := workload.NewSampler(s.env.Templates, seed+1).Weighted(skewed, workload.SkewWeights(k, 0.9, k-1))
+		queries := append([]workload.Query(nil), head.Queries...)
+		for _, q := range tail.Queries {
+			q.Tag += uniform
+			queries = append(queries, q)
+		}
+		w := &workload.Workload{Templates: s.env.Templates, Queries: queries}
+		w = w.WithArrivals(workload.FixedDelayArrivals(uniform+skewed, gap))
+
+		o := core.NewOnlineScheduler(base, opts)
+		res, err := o.Run(w)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.DriftTriggerArrivals) == 0 {
+			return nil, fmt.Errorf("experiments: stream %d never detected the injected shift", i)
+		}
+		// Arrival gaps are distinct, so a query's tag is its arrival
+		// index; the first trigger index splits "shifted, old model"
+		// from "shifted, adapted model".
+		trigger := res.DriftTriggerArrivals[0]
+		detectLag += trigger - uniform
+		phaseOf := func(idx int) int {
+			switch {
+			case idx < uniform:
+				return 0
+			case idx < trigger:
+				return 1
+			default:
+				return 2
+			}
+		}
+		for _, out := range res.Outcomes {
+			completed++
+			p := phaseOf(out.Tag)
+			phases[p].arrivals++
+			phases[p].latency += out.End - out.Arrival
+			if out.End-out.Arrival > goal.Deadline {
+				phases[p].violation++
+			}
+		}
+		for idx, d := range res.PerArrival {
+			phases[phaseOf(idx)].advisor += d
+		}
+		st := o.Registry().Stats()
+		triggers += st.Triggers
+		swaps += st.Swaps
+		cur := o.Registry().Current()
+		lastMix = cur.Mix
+		retrainTime = cur.Model.TrainingTime
+	}
+	total := streams * (uniform + skewed)
+	if completed != total {
+		return nil, fmt.Errorf("experiments: %d of %d arrivals completed across hot swaps", completed, total)
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Shift recovery: %d streams, mix flips to 90%% skew at arrival %d (drift EMD + hot swap)", streams, uniform),
+		Header: []string{"phase", "arrivals", "SLA viol.", "avg latency", "avg advisor"},
+	}
+	for _, p := range phases {
+		if p.arrivals == 0 {
+			t.AddRow(p.name, "0", "-", "-", "-")
+			continue
+		}
+		t.AddRow(p.name,
+			fmt.Sprintf("%d", p.arrivals),
+			fmt.Sprintf("%.1f%%", 100*float64(p.violation)/float64(p.arrivals)),
+			(p.latency / time.Duration(p.arrivals)).Round(time.Second).String(),
+			(p.advisor / time.Duration(p.arrivals)).Round(time.Microsecond).String())
+	}
+	t.Note("detection lag: %.1f arrivals after the shift on average (EMD window %d, threshold %.1f)",
+		float64(detectLag)/float64(streams), opts.Drift.Window, opts.Drift.Threshold)
+	t.Note("%d retrains, %d hot swaps across %d streams; adapted models target %.0f%% mass on the skewed template (last retrain took %s)",
+		triggers, swaps, streams, 100*lastMix[k-1], retrainTime.Round(time.Millisecond))
+	t.Note("zero dropped or double-scheduled arrivals across the swap: %d/%d completed exactly once", completed, total)
+	t.Fprint(c.Out)
+	return t, nil
+}

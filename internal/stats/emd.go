@@ -29,6 +29,38 @@ func EMD1D(a, b []float64) float64 {
 	return total / float64(len(as))
 }
 
+// EMDHist computes the Earth Mover's Distance between two histograms over
+// the same ordered bins with unit ground distance between adjacent bins:
+// after normalizing each histogram to total mass 1, the EMD is the L1
+// distance between their cumulative distributions. The online drift detector
+// uses it to compare a stream's sliding template-arrival histogram against
+// the serving model's training mix (templates are ordered by base latency,
+// so bin distance tracks latency distance).
+//
+// Histograms must have equal length; an empty or zero-mass histogram has
+// distance 0 to everything (there is no mass to move). EMDHist allocates
+// nothing — it runs on the per-arrival hot path.
+func EMDHist(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: EMDHist requires equal-length histograms")
+	}
+	sumP, sumQ := 0.0, 0.0
+	for i := range p {
+		sumP += p[i]
+		sumQ += q[i]
+	}
+	if sumP <= 0 || sumQ <= 0 {
+		return 0
+	}
+	emd, cp, cq := 0.0, 0.0, 0.0
+	for i := range p {
+		cp += p[i] / sumP
+		cq += q[i] / sumQ
+		emd += math.Abs(cp - cq)
+	}
+	return emd
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -143,6 +143,72 @@ func TestEMD1DProperties(t *testing.T) {
 	}
 }
 
+func TestEMDHist(t *testing.T) {
+	if got := EMDHist([]float64{1, 2, 3}, []float64{2, 4, 6}); got != 0 {
+		t.Fatalf("proportional histograms: want 0, got %g", got)
+	}
+	// All mass moved one bin over: EMD = 1 (unit ground distance).
+	if got := EMDHist([]float64{1, 0}, []float64{0, 1}); got != 1 {
+		t.Fatalf("one-bin shift: want 1, got %g", got)
+	}
+	// Point mass at bin 0 vs bin k-1: EMD = k-1.
+	if got := EMDHist([]float64{5, 0, 0, 0}, []float64{0, 0, 0, 2}); got != 3 {
+		t.Fatalf("extreme shift over 4 bins: want 3, got %g", got)
+	}
+	// Zero-mass histograms carry no mass to move.
+	if got := EMDHist([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Fatalf("zero-mass histogram: want 0, got %g", got)
+	}
+}
+
+func TestEMDHistProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a, b, c := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = rng.Float64(), rng.Float64(), rng.Float64()
+		}
+		dab, dba := EMDHist(a, b), EMDHist(b, a)
+		if math.Abs(dab-dba) > 1e-12 || dab < 0 {
+			return false // symmetry, non-negativity
+		}
+		if EMDHist(a, c) > dab+EMDHist(b, c)+1e-9 {
+			return false // triangle inequality
+		}
+		// Agreement with the sample-based EMD1D: a histogram of integer
+		// counts is a multiset of bin indices.
+		counts := make([]float64, 3)
+		var sa, sb []float64
+		for i := range counts {
+			k := rng.Intn(4)
+			counts[i] = float64(k)
+			for j := 0; j < k; j++ {
+				sa = append(sa, float64(i))
+			}
+		}
+		other := make([]float64, 3)
+		for i := range other {
+			k := rng.Intn(4)
+			other[i] = float64(k)
+			for j := 0; j < k; j++ {
+				sb = append(sb, float64(i))
+			}
+		}
+		if len(sa) == len(sb) && len(sa) > 0 {
+			// Equal sample counts: both normalize to unit mass, so the
+			// histogram EMD must match the sample EMD over bin indices.
+			if math.Abs(EMDHist(counts, other)-EMD1D(sa, sb)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if got := Percentile(xs, 90); got != 9 {

@@ -59,12 +59,32 @@ type (
 	Strategy = core.Strategy
 	// RecommendConfig tunes strategy recommendation.
 	RecommendConfig = core.RecommendConfig
-	// OnlineScheduler schedules queries arriving one at a time.
+	// OnlineScheduler is the multi-tenant online serving engine.
 	OnlineScheduler = core.OnlineScheduler
 	// OnlineOptions tunes online scheduling and its optimizations.
 	OnlineOptions = core.OnlineOptions
-	// OnlineResult reports the outcome of an online run.
+	// OnlineResult reports the outcome of one arrival stream.
 	OnlineResult = core.OnlineResult
+	// Outcome is one completed query of an online stream.
+	Outcome = core.Outcome
+	// Stream is one tenant's event-driven arrival stream.
+	Stream = core.Stream
+	// Clock supplies stream time (SimClock for virtual, WallClock for live).
+	Clock = core.Clock
+	// SimClock is a virtual clock advanced by its driver.
+	SimClock = core.SimClock
+	// WallClock reads real elapsed time for live serving.
+	WallClock = core.WallClock
+	// DriftOptions configures workload-drift detection and hot-swapping.
+	DriftOptions = core.DriftOptions
+	// ModelRegistry is the hot-swappable model lifecycle subsystem.
+	ModelRegistry = core.ModelRegistry
+	// ModelEpoch is one immutable serving generation of a model.
+	ModelEpoch = core.ModelEpoch
+	// RegistryStats snapshots a registry's lifecycle counters.
+	RegistryStats = core.RegistryStats
+	// RetrainFunc builds a replacement model for an observed arrival mix.
+	RetrainFunc = core.RetrainFunc
 )
 
 // Workload model types.
@@ -132,15 +152,23 @@ var (
 	PaperTrainConfig = core.PaperTrainConfig
 	// DefaultRecommendConfig tunes Recommend like the paper's tiers.
 	DefaultRecommendConfig = core.DefaultRecommendConfig
-	// NewOnlineScheduler wraps a model for online arrivals.
+	// NewOnlineScheduler builds the serving engine over a base model.
 	NewOnlineScheduler = core.NewOnlineScheduler
 	// DefaultOnlineOptions enables both §6.3.1 optimizations.
 	DefaultOnlineOptions = core.DefaultOnlineOptions
+	// NewWallClock returns a live clock for event-driven streams.
+	NewWallClock = core.NewWallClock
+	// DriftRetrain is the default drift response: re-train toward the
+	// observed arrival mix at the base model's scale.
+	DriftRetrain = core.DriftRetrain
 
 	// DefaultTemplates synthesizes the paper's TPC-H-like template set.
 	DefaultTemplates = workload.DefaultTemplates
 	// NewSampler returns a deterministic workload sampler.
 	NewSampler = workload.NewSampler
+	// SkewWeights interpolates template weights between uniform and a
+	// point mass — the §7.5 skewed-workload generator.
+	SkewWeights = workload.SkewWeights
 
 	// DefaultVMTypes returns EC2-like VM types (t2.medium, t2.small, ...).
 	DefaultVMTypes = cloud.DefaultVMTypes
