@@ -1,30 +1,44 @@
 // Command wisedb is a small CLI over the WiSeDB advisor: it trains decision
-// models, schedules batch workloads, recommends service tiers, and simulates
-// online arrival streams — all against the synthetic TPC-H-like environment
-// of the paper's evaluation (§7.1).
+// models, schedules batch workloads, recommends service tiers, simulates
+// online arrival streams, and manages durable model files — all against the
+// synthetic TPC-H-like environment of the paper's evaluation (§7.1).
 //
 // Usage:
 //
-//	wisedb [flags] train      # train a model and dump the decision tree
-//	wisedb [flags] schedule   # train + schedule a random batch, print costs
-//	wisedb [flags] recommend  # derive k service tiers with cost estimates
-//	wisedb [flags] online     # simulate an online arrival stream
-//	wisedb [flags] serve      # drive K concurrent tenant streams (load generator)
+//	wisedb train [-o model.wsdb]      # train a model; optionally persist it
+//	wisedb schedule [-model m.wsdb]   # train/load + schedule a random batch
+//	wisedb recommend                  # derive k service tiers with cost estimates
+//	wisedb online [-model m.wsdb]     # simulate an online arrival stream
+//	wisedb serve [-model m.wsdb] [-store DIR] [-checkpoint]
+//	                                  # drive K concurrent tenant streams
+//	wisedb inspect PATH               # dump a model file's (or store dir's)
+//	                                  # header, mix histogram, and lineage
 //
-// Common flags select the goal (-goal max|perquery|average|percentile), the
-// environment (-templates, -vmtypes), training scale (-samples, -size), and
-// the workload (-queries, -seed). serve adds -streams, -skew / -shift-at
-// (inject a template-mix shift mid-stream), and -drift-window (detect it via
-// EMD and hot-swap an adapted model).
+// Flags may come before or after the subcommand. Common flags select the
+// goal (-goal max|perquery|average|percentile), the environment
+// (-templates, -vmtypes), training scale (-samples, -size), and the
+// workload (-queries, -seed). serve adds -streams, -skew / -shift-at
+// (inject a template-mix shift mid-stream), and -drift-window (detect it
+// via EMD and hot-swap an adapted model).
+//
+// Model persistence: `wisedb train -o m.wsdb && wisedb serve -model m.wsdb`
+// serves with zero training searches at startup. With -store DIR the
+// server warm-starts from the newest checkpointed epoch in DIR (training
+// only if the store is empty) and — with -checkpoint, the default —
+// commits every drift-retrained epoch back to it, so a crash loses at most
+// the epoch being written. `wisedb inspect` reads headers and lineage
+// without ever decoding a decision tree.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"wisedb"
@@ -48,11 +62,34 @@ func main() {
 	skew := flag.Float64("skew", 0, "serve: template-mix skew injected mid-stream (0 = no shift, up to 1)")
 	shiftAt := flag.Float64("shift-at", 0.5, "serve: fraction of each stream after which the mix shifts")
 	driftWindow := flag.Int("drift-window", 48, "serve: sliding-histogram size for EMD drift detection (0 = off)")
+	outPath := flag.String("o", "", "train: persist the trained model at this path")
+	modelPath := flag.String("model", "", "load a persisted model instead of training")
+	storeDir := flag.String("store", "", "serve: durable model store directory (warm start + checkpoints)")
+	checkpoint := flag.Bool("checkpoint", true, "serve: checkpoint hot-swapped epochs into -store")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	// Accept flags after the subcommand too: `wisedb train -o m.wsdb`.
+	if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	if cmd == "inspect" {
+		if flag.NArg() != 1 {
+			log.Fatal("inspect requires a model file or store directory path")
+		}
+		inspect(flag.Arg(0))
+		return
+	}
+	// Every other subcommand takes flags only: a stray positional arg is
+	// almost always a mistake (`wisedb train model.wsdb` without -o would
+	// otherwise train, save nothing, and exit 0).
+	if flag.NArg() != 0 {
+		log.Fatalf("unexpected argument %q after %s (did you mean a flag?)", flag.Arg(0), cmd)
 	}
 
 	templates := wisedb.DefaultTemplates(*numTemplates)
@@ -69,17 +106,41 @@ func main() {
 		log.Fatal(err)
 	}
 
-	switch flag.Arg(0) {
+	// getModel loads a persisted model (-model, zero training searches) or
+	// trains one. A loaded model carries its own goal and environment.
+	getModel := func() *wisedb.Model {
+		if *modelPath == "" {
+			return mustTrain(advisor, goal)
+		}
+		m, err := advisor.LoadModel(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s model from %s (zero training searches)\n", m.Goal.Name(), *modelPath)
+		return m
+	}
+
+	switch cmd {
 	case "train":
-		model := mustTrain(advisor, goal)
+		model := getModel()
 		fmt.Printf("trained in %s on %d decisions; tree height %d, %d leaves\n\n",
 			model.TrainingTime.Round(time.Millisecond), model.TrainingRows,
 			model.Tree.Height(), model.Tree.NumLeaves())
 		fmt.Print(model.Dump())
+		if *outPath != "" {
+			if err := advisor.SaveModel(*outPath, model); err != nil {
+				log.Fatal(err)
+			}
+			size := int64(0)
+			if fi, err := os.Stat(*outPath); err == nil {
+				size = fi.Size()
+			}
+			fmt.Printf("\nsaved %s (%d bytes, format v%d)\n", *outPath, size, wisedb.ModelFormatVersion)
+		}
 
 	case "schedule":
-		model := mustTrain(advisor, goal)
-		w := wisedb.NewSampler(templates, *seed+100).Uniform(*queries)
+		model := getModel()
+		w := wisedb.NewSampler(model.Env().Templates, *seed+100).Uniform(*queries)
 		start := time.Now()
 		sched, err := model.ScheduleBatch(w)
 		if err != nil {
@@ -88,7 +149,7 @@ func main() {
 		fmt.Printf("scheduled %d queries onto %d VMs in %s\n",
 			*queries, len(sched.VMs), time.Since(start).Round(time.Microsecond))
 		fmt.Printf("provisioning %.2f¢ + penalty %.2f¢ = total %.2f¢\n",
-			sched.ProvisioningCost(env), sched.Penalty(env, goal), sched.Cost(env, goal))
+			sched.ProvisioningCost(model.Env()), sched.Penalty(model.Env(), model.Goal), sched.Cost(model.Env(), model.Goal))
 
 	case "recommend":
 		rec := wisedb.DefaultRecommendConfig()
@@ -107,8 +168,8 @@ func main() {
 		}
 
 	case "online":
-		model := mustTrain(advisor, goal)
-		w := wisedb.NewSampler(templates, *seed+100).Uniform(*queries)
+		model := getModel()
+		w := wisedb.NewSampler(model.Env().Templates, *seed+100).Uniform(*queries)
 		arrivals := make([]time.Duration, *queries)
 		for i := range arrivals {
 			arrivals[i] = time.Duration(i) * *delay
@@ -123,12 +184,21 @@ func main() {
 			res.SchedulingTime.Round(time.Millisecond), res.Retrainings, res.Adaptations, res.CacheHits)
 
 	case "serve":
-		model := mustTrain(advisor, goal)
-		serve(model, templates, serveConfig{
+		opts := wisedb.DefaultOnlineOptions()
+		opts.Drift = wisedb.DriftOptions{Window: *driftWindow}
+		engine, ms := buildServeEngine(opts, getModel, *modelPath, *storeDir, *checkpoint)
+		// Generate load against the serving model's own template set: a
+		// loaded or warm-started model defines its environment.
+		serve(engine, engine.Registry().Current().Model.Env().Templates, serveConfig{
 			streams: *streams, queries: *queries, delay: *delay, seed: *seed,
-			skew: *skew, shiftAt: *shiftAt, driftWindow: *driftWindow,
+			skew: *skew, shiftAt: *shiftAt,
 			parallelism: *parallelism,
 		})
+		if ms != nil {
+			if latest, ok := ms.LatestEpoch(); ok {
+				fmt.Printf("model store %s: latest epoch %d of %d on disk\n", ms.Dir(), latest, len(ms.Entries()))
+			}
+		}
 
 	default:
 		flag.Usage()
@@ -136,24 +206,55 @@ func main() {
 	}
 }
 
+// buildServeEngine assembles the serving engine: warm start from the model
+// store when it has epochs, otherwise load/train a base model — and attach
+// checkpointing so every future hot swap lands durably.
+func buildServeEngine(opts wisedb.OnlineOptions, getModel func() *wisedb.Model, modelPath, storeDir string, checkpoint bool) (*wisedb.OnlineScheduler, *wisedb.ModelStore) {
+	if storeDir == "" {
+		return wisedb.NewOnlineScheduler(getModel(), opts), nil
+	}
+	ms, err := wisedb.OpenModelStore(storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := wisedb.NewOnlineSchedulerFromStore(ms, opts)
+	switch {
+	case err == nil:
+		// A non-empty store defines what serves; silently discarding an
+		// explicitly named model would mislead the operator.
+		if modelPath != "" {
+			log.Fatalf("both -model %s and non-empty -store %s given: the store's newest epoch would override the model file; drop -model to warm-start, or point -store at a fresh directory to seed it from the model", modelPath, storeDir)
+		}
+		ep := engine.Registry().Current()
+		fmt.Fprintf(os.Stderr, "warm start: serving epoch %d from %s (zero training searches)\n", ep.Epoch, storeDir)
+	case errors.Is(err, wisedb.ErrEmptyStore):
+		fmt.Fprintf(os.Stderr, "model store %s is empty; bootstrapping a base model\n", storeDir)
+		engine = wisedb.NewOnlineScheduler(getModel(), opts)
+	default:
+		log.Fatal(err)
+	}
+	if checkpoint {
+		if err := engine.Registry().CheckpointTo(ms); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return engine, ms
+}
+
 // serveConfig bundles the load-generator knobs of the serve mode.
 type serveConfig struct {
-	streams, queries         int
-	delay                    time.Duration
-	seed                     int64
-	skew, shiftAt            float64
-	driftWindow, parallelism int
+	streams, queries int
+	delay            time.Duration
+	seed             int64
+	skew, shiftAt    float64
+	parallelism      int
 }
 
 // serve drives K concurrent tenant streams through one serving engine at
 // full speed (virtual arrival clocks, real concurrency) and reports
 // throughput, tail advisor latency, SLA violations, and — when a mix shift
-// is injected — the registry's drift detections and hot swaps.
-func serve(model *wisedb.Model, templates []wisedb.Template, cfg serveConfig) {
-	opts := wisedb.DefaultOnlineOptions()
-	opts.Drift = wisedb.DriftOptions{Window: cfg.driftWindow}
-	engine := wisedb.NewOnlineScheduler(model, opts)
-
+// is injected — the registry's drift detections, hot swaps, and checkpoints.
+func serve(engine *wisedb.OnlineScheduler, templates []wisedb.Template, cfg serveConfig) {
 	ws := make([]*wisedb.Workload, cfg.streams)
 	shift := int(float64(cfg.queries) * cfg.shiftAt)
 	k := len(templates)
@@ -185,7 +286,7 @@ func serve(model *wisedb.Model, templates []wisedb.Template, cfg serveConfig) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine.Registry().Wait() // drain any background retrain before reporting
+	engine.Registry().Wait() // drain background retrains and checkpoints
 
 	totalArrivals, rented := 0, 0
 	cost := 0.0
@@ -215,8 +316,107 @@ func serve(model *wisedb.Model, templates []wisedb.Template, cfg serveConfig) {
 	stats := engine.Registry().Stats()
 	fmt.Printf("model lifecycle: %d drift triggers, %d retrains, %d hot swaps, final epoch %d, %d derived-model builds\n",
 		driftTriggers, stats.Triggers, stats.Swaps, stats.Epoch, engine.CacheStats())
+	if stats.Checkpoints > 0 || stats.CheckpointFailures > 0 {
+		fmt.Printf("checkpoints: %d committed, %d failed\n", stats.Checkpoints, stats.CheckpointFailures)
+	}
 	if stats.LastErr != nil {
 		fmt.Printf("last retrain error: %v\n", stats.LastErr)
+	}
+	if stats.LastCheckpointErr != nil {
+		fmt.Printf("last checkpoint error: %v\n", stats.LastCheckpointErr)
+	}
+}
+
+// inspect dumps a model file's header, provenance, and mix histogram — or,
+// for a store directory, its manifest lineage — without decoding any
+// decision tree.
+func inspect(path string) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fi.IsDir() {
+		inspectStore(path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := wisedb.InspectModel(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: WiSeDB model container v%d, %d bytes, hash %016x\n", path, wisedb.ModelFormatVersion, len(data), info.Hash)
+	var parts []string
+	for _, s := range info.Sections {
+		parts = append(parts, fmt.Sprintf("%s %s", wisedb.ModelSectionName(s.ID), formatBytes(s.Len)))
+	}
+	fmt.Printf("sections: %s\n", strings.Join(parts, " · "))
+	fmt.Printf("goal: %s (%s)\n", info.Goal.Name(), info.Goal.Key())
+	cfg := info.Config
+	fmt.Printf("trained: N=%d m=%d seed=%d in %s -> %d rows; search cache %d hits / %d misses\n",
+		cfg.NumSamples, cfg.SampleSize, cfg.Seed, info.TrainingTime.Round(time.Millisecond),
+		info.TrainingRows, info.CacheHits, info.CacheMisses)
+	fmt.Printf("environment: %d templates x %d VM types; training data retained: %v\n",
+		len(info.Templates), len(info.VMTypes), info.HasTrainingData)
+	mix := info.Mix
+	if mix == nil {
+		fmt.Println("training mix: uniform")
+		return
+	}
+	fmt.Println("training mix histogram:")
+	max := 0.0
+	for _, w := range mix {
+		if w > max {
+			max = w
+		}
+	}
+	for i, w := range mix {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(w/max*30+0.5))
+		}
+		name := fmt.Sprintf("T%d", i)
+		if i < len(info.Templates) {
+			name = info.Templates[i].Name
+		}
+		fmt.Printf("  %-12s %.3f %s\n", name, w, bar)
+	}
+}
+
+// inspectStore prints a model store's lineage chain.
+func inspectStore(dir string) {
+	ms, err := wisedb.OpenModelStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries := ms.Entries()
+	fmt.Printf("%s: model store, %d epochs\n", dir, len(entries))
+	if len(entries) == 0 {
+		return
+	}
+	fmt.Printf("%7s %7s %-7s %8s %10s %-20s %s\n", "epoch", "parent", "reason", "emd", "size", "saved-at", "model-hash")
+	for _, e := range entries {
+		emd := "-"
+		if e.EMD > 0 {
+			emd = fmt.Sprintf("%.3f", e.EMD)
+		}
+		fmt.Printf("%7d %7d %-7s %8s %10s %-20s %016x\n",
+			e.Epoch, e.Parent, e.Reason, emd, formatBytes(int(e.Size)),
+			e.SavedAt.Format("2006-01-02T15:04:05Z"), e.ModelHash)
+	}
+}
+
+// formatBytes renders a byte count compactly.
+func formatBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

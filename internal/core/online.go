@@ -15,6 +15,7 @@ import (
 	"wisedb/internal/cloud"
 	"wisedb/internal/schedule"
 	"wisedb/internal/sla"
+	"wisedb/internal/store"
 	"wisedb/internal/workload"
 )
 
@@ -168,6 +169,22 @@ func NewOnlineScheduler(base *Model, opts OnlineOptions) *OnlineScheduler {
 	return o
 }
 
+// NewOnlineSchedulerFromStore warm-starts a serving engine from a durable
+// model store: the newest intact epoch is decoded and serves immediately —
+// under its persisted epoch number and arrival mix, with zero training
+// searches — exactly as it served before the restart. Attach the store
+// back with Registry().CheckpointTo to keep checkpointing new epochs into
+// it (the already-present epoch is not re-committed).
+func NewOnlineSchedulerFromStore(ms *store.ModelStore, opts OnlineOptions) (*OnlineScheduler, error) {
+	e, err := loadLatestEpoch(ms)
+	if err != nil {
+		return nil, err
+	}
+	o := NewOnlineScheduler(e.Model, opts)
+	o.registry.installEpoch(e)
+	return o, nil
+}
+
 // Registry returns the engine's model lifecycle subsystem: the current
 // serving epoch, hot-swap entry points, and retrain statistics.
 func (o *OnlineScheduler) Registry() *ModelRegistry { return o.registry }
@@ -273,6 +290,13 @@ type Stream struct {
 	tags  []tagState
 	last  time.Duration // latest event time; Submit clamps to monotonic
 	done  bool
+	// driftEpoch is the registry epoch the drift detector last baselined
+	// against. Any epoch install — a drift retrain, a manual swap, a
+	// warm start from a checkpoint — changes the baseline mix, so the
+	// detector's window (full of arrivals judged against the old mix)
+	// must be rebaselined before it may trigger again; comparing a stale
+	// window against a fresh mix produced spurious immediate retrains.
+	driftEpoch uint64
 
 	// seenShifted/seenAug track which derived models this stream has
 	// already acquired, making the CacheHits/Adaptations/Retrainings
@@ -322,6 +346,7 @@ func (o *OnlineScheduler) acquireStream(clock Clock) *Stream {
 		} else {
 			s.drift.reset()
 		}
+		s.driftEpoch = o.registry.Current().Epoch
 	} else {
 		s.drift = nil
 	}
@@ -446,8 +471,17 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 	epoch := s.eng.registry.Current()
 	if s.drift != nil {
 		for _, q := range arrived {
-			if _, drifted := s.drift.observe(q.TemplateID, epoch.Mix); drifted {
-				swapped, err := s.triggerDrift(ctx)
+			// Rebaseline on any epoch install, not just this stream's own
+			// retrain-triggered swaps: a warm-started or cross-tenant
+			// epoch changes the baseline mix, and judging the detector's
+			// stale window against it would re-trigger drift immediately
+			// (pinned by TestDriftRebaselinesOnAnyEpochInstall).
+			if epoch.Epoch != s.driftEpoch {
+				s.drift.reset()
+				s.driftEpoch = epoch.Epoch
+			}
+			if emd, drifted := s.drift.observe(q.TemplateID, epoch.Mix); drifted {
+				swapped, err := s.triggerDrift(ctx, emd)
 				if err != nil {
 					return err
 				}
@@ -482,12 +516,14 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 }
 
 // triggerDrift asks the registry to retrain toward the stream's observed
-// mix. In synchronous mode the swap has landed when it returns true; in
-// background mode it returns false and the swap arrives at a later event.
-func (s *Stream) triggerDrift(ctx context.Context) (swapped bool, err error) {
+// mix; emd (the distance that crossed the threshold) rides into the new
+// epoch's checkpoint lineage. In synchronous mode the swap has landed when
+// it returns true; in background mode it returns false and the swap
+// arrives at a later event.
+func (s *Stream) triggerDrift(ctx context.Context, emd float64) (swapped bool, err error) {
 	r := s.eng.registry
 	if s.eng.opts.Drift.Synchronous {
-		err := r.RetrainNow(ctx, s.drift.mix())
+		err := r.retrainNow(ctx, s.drift.mix(), emd)
 		switch {
 		case err == nil:
 			s.res.DriftTriggers++
@@ -501,7 +537,7 @@ func (s *Stream) triggerDrift(ctx context.Context) (swapped bool, err error) {
 			return false, err
 		}
 	}
-	if r.TriggerRetrain(s.eng.retrainCtx, s.drift.mix()) {
+	if r.triggerRetrain(s.eng.retrainCtx, s.drift.mix(), emd) {
 		s.res.DriftTriggers++
 		s.res.DriftTriggerArrivals = append(s.res.DriftTriggerArrivals, len(s.res.PerArrival))
 	}

@@ -3,8 +3,11 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"wisedb/internal/store"
 )
 
 // ModelEpoch is one immutable generation of a serving model: the model, a
@@ -24,6 +27,11 @@ type ModelEpoch struct {
 	// it — after a swap the detectors automatically re-baseline to the new
 	// epoch's mix.
 	Mix []float64
+	// Hash is the model's content hash when already known — epochs
+	// installed from a checkpoint store carry the hash their lineage
+	// recorded, sparing CheckpointTo a full re-encode on re-attach.
+	// Zero for freshly trained epochs (computed when checkpointed).
+	Hash uint64
 }
 
 // RetrainFunc builds a replacement model for the observed arrival mix. cur
@@ -47,13 +55,20 @@ type ModelRegistry struct {
 	onSwap func(*ModelEpoch)
 
 	// inFlight gates the single retrain slot; wg lets tests and shutdown
-	// drain a background retrain.
+	// drain a background retrain (and any background checkpoint).
 	inFlight atomic.Bool
 	wg       sync.WaitGroup
 	swapMu   sync.Mutex // serializes epoch increments
 
+	// ckpt, when non-nil, is the durable model store every installed
+	// epoch is checkpointed to (see CheckpointTo). Guarded by swapMu.
+	ckpt *store.ModelStore
+
 	triggers, swaps, failures atomic.Int64
 	lastErr                   atomic.Pointer[error]
+
+	checkpoints, checkpointFailures atomic.Int64
+	lastCkptErr                     atomic.Pointer[error]
 }
 
 // NewModelRegistry returns a registry serving base as epoch 0, with the
@@ -78,18 +93,163 @@ func (r *ModelRegistry) Current() *ModelEpoch { return r.cur.Load() }
 // Swap installs m as the next epoch and returns its number. mix is the
 // arrival mix the model targets; nil uses the model's own training mix.
 func (r *ModelRegistry) Swap(m *Model, mix []float64) uint64 {
+	return r.install(m, mix, store.Lineage{Reason: "manual"})
+}
+
+// install is the single epoch-installation path: it assigns the next epoch
+// number, publishes the epoch, notifies onSwap (derived-model cache
+// eviction), and — when a checkpoint store is attached — commits the epoch
+// durably in the background, off every arrival path. lin carries the
+// install's provenance (reason, trigger EMD); epoch numbers, parent, mix,
+// and model hash are filled here.
+func (r *ModelRegistry) install(m *Model, mix []float64, lin store.Lineage) uint64 {
 	r.swapMu.Lock()
 	defer r.swapMu.Unlock()
 	if mix == nil {
 		mix = m.TrainingMix()
 	}
-	next := &ModelEpoch{Model: m, Epoch: r.cur.Load().Epoch + 1, Mix: mix}
+	prev := r.cur.Load()
+	next := &ModelEpoch{Model: m, Epoch: prev.Epoch + 1, Mix: mix}
 	r.cur.Store(next)
 	r.swaps.Add(1)
 	if r.onSwap != nil {
 		r.onSwap(next)
 	}
+	if r.ckpt != nil {
+		lin.Epoch = next.Epoch
+		lin.Parent = prev.Epoch
+		lin.Mix = mix
+		r.wg.Add(1)
+		go func(ms *store.ModelStore) {
+			defer r.wg.Done()
+			r.commitCheckpoint(ms, next, lin)
+		}(r.ckpt)
+	}
 	return next.Epoch
+}
+
+// commitCheckpoint encodes and durably commits one epoch. Failures are
+// recorded in Stats and never disturb serving: the in-memory epoch keeps
+// serving, and the store keeps its previous committed state.
+func (r *ModelRegistry) commitCheckpoint(ms *store.ModelStore, e *ModelEpoch, lin store.Lineage) {
+	data, hash, err := encodeModel(e.Model)
+	if err == nil {
+		lin.ModelHash = hash
+		err = ms.Commit(data, lin)
+	}
+	if err != nil {
+		r.checkpointFailures.Add(1)
+		r.lastCkptErr.Store(&err)
+		return
+	}
+	r.checkpoints.Add(1)
+}
+
+// CheckpointTo attaches a durable model store: the current epoch is
+// committed synchronously (so "train, then serve with checkpointing"
+// persists the base model before the first arrival), and every subsequent
+// epoch install is committed by a background goroutine — the checkpoint
+// never runs on an arrival path, preserving the serving engine's
+// steady-state zero-allocation guarantee.
+//
+// The store must continue this registry's lineage. A registry warm-started
+// from ms attaches cleanly (its current epoch is already committed and is
+// not re-committed). A store whose newest epoch is ahead of — or holds a
+// different model at — the registry's current epoch demonstrably belongs
+// to another serving lineage and is refused, rather than silently
+// colliding every future epoch number with the store's history. A store
+// strictly *behind* the registry cannot be audited the same way (the
+// registry's earlier epochs were never durably recorded anywhere) and is
+// assumed to be this lineage's own older history — e.g. checkpointing
+// attached late after a warm start — so the current epoch is committed on
+// top of it; attach a foreign directory in that state and its manifest
+// will interleave two histories.
+func (r *ModelRegistry) CheckpointTo(ms *store.ModelStore) error {
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	cur := r.cur.Load()
+	if latest, ok := ms.LatestEpoch(); ok && latest >= cur.Epoch {
+		if latest > cur.Epoch {
+			return fmt.Errorf("core: checkpoint store %s is at epoch %d, ahead of this registry's epoch %d — warm-start from it or use a fresh directory", ms.Dir(), latest, cur.Epoch)
+		}
+		hash := cur.Hash
+		if hash == 0 {
+			// Identity unknown (the epoch was not installed from a
+			// store): pay one encode to establish it.
+			var err error
+			if _, hash, err = encodeModel(cur.Model); err != nil {
+				return fmt.Errorf("core: checkpoint epoch %d: %w", cur.Epoch, err)
+			}
+		}
+		entries := ms.Entries()
+		if stored := entries[len(entries)-1]; stored.ModelHash != hash {
+			return fmt.Errorf("core: checkpoint store %s already holds a different model at epoch %d (hash %016x, serving %016x) — it records another serving lineage", ms.Dir(), cur.Epoch, stored.ModelHash, hash)
+		}
+		r.ckpt = ms // warm-started from this store: current epoch already durable
+		return nil
+	}
+	data, hash, err := encodeModel(cur.Model)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint epoch %d: %w", cur.Epoch, err)
+	}
+	reason := "base"
+	parent := cur.Epoch
+	if cur.Epoch > 0 {
+		reason = "manual"
+		parent = cur.Epoch - 1
+	}
+	lin := store.Lineage{Epoch: cur.Epoch, Parent: parent, Reason: reason, Mix: cur.Mix, ModelHash: hash}
+	if err := ms.Commit(data, lin); err != nil {
+		return err
+	}
+	r.ckpt = ms
+	r.checkpoints.Add(1)
+	return nil
+}
+
+// loadLatestEpoch decodes a store's newest intact epoch into a serving
+// epoch: the model under its persisted epoch number and arrival mix.
+func loadLatestEpoch(ms *store.ModelStore) (*ModelEpoch, error) {
+	lin, data, err := ms.Latest()
+	if err != nil {
+		return nil, fmt.Errorf("core: warm start: %w", err)
+	}
+	m, err := DecodeModel(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: warm start epoch %d: %w", lin.Epoch, err)
+	}
+	mix := lin.Mix
+	if len(mix) != len(m.env.Templates) {
+		mix = m.TrainingMix()
+	}
+	return &ModelEpoch{Model: m, Epoch: lin.Epoch, Mix: mix, Hash: lin.ModelHash}, nil
+}
+
+// installEpoch publishes a warm-started epoch wholesale — persisted epoch
+// number included — through the same notification path as a hot swap.
+func (r *ModelRegistry) installEpoch(e *ModelEpoch) {
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	r.cur.Store(e)
+	if r.onSwap != nil {
+		r.onSwap(e)
+	}
+}
+
+// WarmStart replaces the registry's serving state with the store's newest
+// intact epoch: the decoded model starts serving under its persisted epoch
+// number and arrival mix, so lineage continues across the restart and no
+// training search runs. Streams observe the install like any hot swap —
+// and rebaseline their drift detectors against the restored mix rather
+// than re-triggering against a stale one (see the per-stream epoch
+// tracking in onArrival). The installed epoch is returned.
+func (r *ModelRegistry) WarmStart(ms *store.ModelStore) (*ModelEpoch, error) {
+	e, err := loadLatestEpoch(ms)
+	if err != nil {
+		return nil, err
+	}
+	r.installEpoch(e)
+	return e, nil
 }
 
 // TriggerRetrain starts a background retrain toward mix unless one is
@@ -100,6 +260,12 @@ func (r *ModelRegistry) Swap(m *Model, mix []float64) uint64 {
 // background context, not the stream's, so a finishing stream does not
 // abort a retrain other streams will benefit from).
 func (r *ModelRegistry) TriggerRetrain(ctx context.Context, mix []float64) bool {
+	return r.triggerRetrain(ctx, mix, 0)
+}
+
+// triggerRetrain is TriggerRetrain also carrying the EMD observed at the
+// drift trigger, recorded in the resulting epoch's checkpoint lineage.
+func (r *ModelRegistry) triggerRetrain(ctx context.Context, mix []float64, emd float64) bool {
 	if !r.inFlight.CompareAndSwap(false, true) {
 		return false
 	}
@@ -109,7 +275,7 @@ func (r *ModelRegistry) TriggerRetrain(ctx context.Context, mix []float64) bool 
 	go func() {
 		defer r.wg.Done()
 		defer r.inFlight.Store(false)
-		r.runRetrain(ctx, cur, mix)
+		r.runRetrain(ctx, cur, mix, emd)
 	}()
 	return true
 }
@@ -122,27 +288,33 @@ var errRetrainInFlight = errors.New("core: a drift retrain is already in flight"
 // has happened by the time it returns. Streams configured with
 // DriftOptions.Synchronous use it so drift recovery is deterministic.
 func (r *ModelRegistry) RetrainNow(ctx context.Context, mix []float64) error {
+	return r.retrainNow(ctx, mix, 0)
+}
+
+// retrainNow is RetrainNow also carrying the trigger EMD for lineage.
+func (r *ModelRegistry) retrainNow(ctx context.Context, mix []float64, emd float64) error {
 	if !r.inFlight.CompareAndSwap(false, true) {
 		return errRetrainInFlight
 	}
 	defer r.inFlight.Store(false)
 	r.triggers.Add(1)
-	return r.runRetrain(ctx, r.Current(), mix)
+	return r.runRetrain(ctx, r.Current(), mix, emd)
 }
 
 // runRetrain builds the replacement model and swaps it in.
-func (r *ModelRegistry) runRetrain(ctx context.Context, cur *ModelEpoch, mix []float64) error {
+func (r *ModelRegistry) runRetrain(ctx context.Context, cur *ModelEpoch, mix []float64, emd float64) error {
 	m, err := r.retrain(ctx, cur, mix)
 	if err != nil {
 		r.failures.Add(1)
 		r.lastErr.Store(&err)
 		return err
 	}
-	r.Swap(m, mix)
+	r.install(m, mix, store.Lineage{Reason: "drift", EMD: emd})
 	return nil
 }
 
-// Wait blocks until any background retrain has completed (swap included).
+// Wait blocks until any background retrain (swap included) and any
+// background checkpoint commit have completed.
 func (r *ModelRegistry) Wait() { r.wg.Wait() }
 
 // RegistryStats is a snapshot of the registry's lifecycle counters.
@@ -157,19 +329,31 @@ type RegistryStats struct {
 	InFlight bool
 	// LastErr is the most recent retrain failure, nil if none.
 	LastErr error
+	// Checkpoints counts epochs durably committed to the attached model
+	// store; CheckpointFailures counts commits that errored (serving is
+	// never disturbed by one — see CheckpointTo).
+	Checkpoints, CheckpointFailures int64
+	// LastCheckpointErr is the most recent checkpoint failure, nil if
+	// none.
+	LastCheckpointErr error
 }
 
 // Stats returns a consistent-enough snapshot for monitoring and tests.
 func (r *ModelRegistry) Stats() RegistryStats {
 	s := RegistryStats{
-		Epoch:    r.Current().Epoch,
-		Triggers: r.triggers.Load(),
-		Swaps:    r.swaps.Load(),
-		Failures: r.failures.Load(),
-		InFlight: r.inFlight.Load(),
+		Epoch:              r.Current().Epoch,
+		Triggers:           r.triggers.Load(),
+		Swaps:              r.swaps.Load(),
+		Failures:           r.failures.Load(),
+		InFlight:           r.inFlight.Load(),
+		Checkpoints:        r.checkpoints.Load(),
+		CheckpointFailures: r.checkpointFailures.Load(),
 	}
 	if p := r.lastErr.Load(); p != nil {
 		s.LastErr = *p
+	}
+	if p := r.lastCkptErr.Load(); p != nil {
+		s.LastCheckpointErr = *p
 	}
 	return s
 }

@@ -1,0 +1,97 @@
+package dt
+
+import (
+	"fmt"
+	"math"
+)
+
+// FlatTreeNode is the serializable form of one decision-tree node. A tree
+// is exported as its preorder node sequence: children are implicit (the
+// left subtree of an internal node starts at the next element, the right
+// subtree after the left one ends), so the flat form carries no indices
+// that could dangle. The training distribution (N, Errs) rides along so
+// that pruning bookkeeping and Dump output survive a round trip exactly.
+type FlatTreeNode struct {
+	Leaf      bool
+	Label     int32
+	Feature   int32
+	Threshold float64
+	N, Errs   int32
+}
+
+// Export flattens the tree into its preorder node sequence.
+func (t *Tree) Export() []FlatTreeNode {
+	nodes := make([]FlatTreeNode, 0, t.NumNodes())
+	return exportNode(nodes, t.Root)
+}
+
+func exportNode(nodes []FlatTreeNode, n *Node) []FlatTreeNode {
+	nodes = append(nodes, FlatTreeNode{
+		Leaf:      n.Leaf,
+		Label:     int32(n.Label),
+		Feature:   int32(n.Feature),
+		Threshold: n.Threshold,
+		N:         int32(n.n),
+		Errs:      int32(n.errs),
+	})
+	if !n.Leaf {
+		nodes = exportNode(nodes, n.Left)
+		nodes = exportNode(nodes, n.Right)
+	}
+	return nodes
+}
+
+// TreeFromExport rebuilds a tree from its preorder node sequence. It
+// validates the structure — the sequence must describe exactly one complete
+// binary tree with in-range labels and features — so a decoder can hand it
+// untrusted data: malformed input yields an error, never a panic. The walk
+// is iterative (an explicit heap stack, not recursion), so a crafted deep
+// left-spine tree cannot overflow the goroutine stack. The rebuilt tree is
+// Predict- and Dump-identical to the exported one.
+func TreeFromExport(nodes []FlatTreeNode, featureNames []string, numLabels int) (*Tree, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("dt: empty tree export")
+	}
+	var root *Node
+	// Each stack entry is the parent-child slot the next preorder node
+	// attaches to; pushing right before left makes the left subtree
+	// consume the sequence first, matching Export's preorder.
+	stack := make([]**Node, 0, 16)
+	stack = append(stack, &root)
+	pos := 0
+	for len(stack) > 0 {
+		if pos >= len(nodes) {
+			return nil, fmt.Errorf("dt: tree export ends inside a subtree")
+		}
+		fn := nodes[pos]
+		pos++
+		n := &Node{
+			Leaf:      fn.Leaf,
+			Label:     int(fn.Label),
+			Feature:   int(fn.Feature),
+			Threshold: fn.Threshold,
+			n:         int(fn.N),
+			errs:      int(fn.Errs),
+		}
+		if n.Label < 0 || n.Label >= numLabels {
+			return nil, fmt.Errorf("dt: node label %d outside [0,%d)", n.Label, numLabels)
+		}
+		slot := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		*slot = n
+		if n.Leaf {
+			continue
+		}
+		if n.Feature < 0 || n.Feature >= len(featureNames) {
+			return nil, fmt.Errorf("dt: split feature %d outside [0,%d)", n.Feature, len(featureNames))
+		}
+		if math.IsNaN(n.Threshold) {
+			return nil, fmt.Errorf("dt: split threshold is NaN")
+		}
+		stack = append(stack, &n.Right, &n.Left)
+	}
+	if pos != len(nodes) {
+		return nil, fmt.Errorf("dt: tree export has %d trailing nodes", len(nodes)-pos)
+	}
+	return &Tree{Root: root, FeatureNames: featureNames, NumLabels: numLabels}, nil
+}

@@ -1,0 +1,77 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildClosed interns n synthetic signatures with known costs.
+func buildClosed(n int) *Closed {
+	t := NewInternTable()
+	g := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sig := []byte(fmt.Sprintf("state-signature-%04d", i))
+		t.Intern(sig)
+		g[i] = float64(i) * 1.25
+	}
+	return &Closed{Table: t, G: g}
+}
+
+// Export/ClosedFromExport must preserve every (signature, g) pair.
+func TestClosedExportRoundTrip(t *testing.T) {
+	c := buildClosed(300)
+	back, err := ClosedFromExport(c.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Table.Len() != c.Table.Len() {
+		t.Fatalf("table length %d after round trip, want %d", back.Table.Len(), c.Table.Len())
+	}
+	for i := 0; i < 300; i++ {
+		sig := []byte(fmt.Sprintf("state-signature-%04d", i))
+		g, ok := back.Lookup(sig)
+		if !ok || g != float64(i)*1.25 {
+			t.Fatalf("signature %d: got (%g,%v)", i, g, ok)
+		}
+	}
+	if _, ok := back.Lookup([]byte("never-interned")); ok {
+		t.Fatal("round-tripped table invents signatures")
+	}
+}
+
+// Malformed exports — inconsistent lengths, non-contiguous keys, duplicate
+// signatures — must error, never panic or build a broken table.
+func TestClosedFromExportRejectsMalformed(t *testing.T) {
+	good := buildClosed(5).Export()
+
+	bad := good
+	bad.G = bad.G[:3]
+	if _, err := ClosedFromExport(bad); err == nil {
+		t.Error("length mismatch accepted")
+	}
+
+	bad = buildClosed(5).Export()
+	bad.Offs[2]++ // keys no longer contiguous
+	if _, err := ClosedFromExport(bad); err == nil {
+		t.Error("non-contiguous keys accepted")
+	}
+
+	bad = buildClosed(5).Export()
+	bad.Keys = bad.Keys[:len(bad.Keys)-2] // truncated key bytes
+	if _, err := ClosedFromExport(bad); err == nil {
+		t.Error("truncated keys accepted")
+	}
+
+	// Duplicate signature: make entry 1's bytes equal entry 0's.
+	c := NewInternTable()
+	c.Intern([]byte("aa"))
+	dup := ClosedExport{
+		Keys: []byte("aaaa"),
+		Offs: []uint32{0, 2},
+		Lens: []uint32{2, 2},
+		G:    []float64{1, 2},
+	}
+	if _, err := ClosedFromExport(dup); err == nil {
+		t.Error("duplicate signatures accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package store_test
+
+import (
+	"testing"
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/core"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+// benchConfig is a serving-scale training configuration (what a drift
+// retrain produces and the registry checkpoints).
+func benchConfig() (*schedule.Env, core.TrainConfig, sla.Goal) {
+	env := schedule.NewEnv(workload.DefaultTemplates(10), cloud.DefaultVMTypes(2))
+	cfg := core.DefaultTrainConfig()
+	cfg.NumSamples = 100
+	cfg.SampleSize = 7
+	cfg.Seed = 5
+	goal := sla.NewMaxLatency(15*time.Minute, env.Templates, sla.DefaultPenaltyRate)
+	return env, cfg, goal
+}
+
+// BenchmarkModelSaveLoad measures the checkpoint codec: encoding a trained
+// model (what every hot swap pays in the background) and decoding it (what
+// a warm start pays instead of retraining). bytes/model reports the
+// on-disk size, training data included.
+func BenchmarkModelSaveLoad(b *testing.B) {
+	env, cfg, goal := benchConfig()
+	m, err := core.MustNewAdvisor(env, cfg).Train(goal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := core.EncodeModel(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("encode", func(b *testing.B) {
+		b.ReportMetric(float64(len(data)), "bytes/model")
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EncodeModel(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportMetric(float64(len(data)), "bytes/model")
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecodeModel(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWarmStartVsColdTrain is the startup-latency comparison behind
+// EXPERIMENTS.md's persistence table: decoding a checkpointed model versus
+// re-running the training searches it encodes.
+func BenchmarkWarmStartVsColdTrain(b *testing.B) {
+	env, cfg, goal := benchConfig()
+	adv := core.MustNewAdvisor(env, cfg)
+	m, err := adv.Train(goal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := core.EncodeModel(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("warm-start", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecodeModel(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := adv.Train(goal); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package store_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/core"
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+	"wisedb/internal/workload"
+)
+
+var update = flag.Bool("update", false, "regenerate golden fixtures (only when bumping the format version)")
+
+const goldenPath = "testdata/model_v1.wsdb"
+
+// goldenModel trains the fixture model: tiny and fully deterministic
+// (training is bit-identical at any parallelism; every parameter is
+// pinned). It retains training data so the fixture exercises every section
+// of the format, including the adaptive-A* closed sets.
+func goldenModel(t testing.TB) *core.Model {
+	t.Helper()
+	env := schedule.NewEnv(workload.DefaultTemplates(3), cloud.DefaultVMTypes(2))
+	cfg := core.TrainConfig{
+		NumSamples:       20,
+		SampleSize:       4,
+		Seed:             42,
+		KeepTrainingData: true,
+	}
+	m, err := core.MustNewAdvisor(env, cfg).Train(
+		sla.NewMaxLatency(15*time.Minute, env.Templates, sla.DefaultPenaltyRate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TrainingTime is the one wall-clock field a model carries; pin it so
+	// the fixture bytes depend only on the (deterministic) training
+	// output.
+	m.TrainingTime = 123 * time.Millisecond
+	return m
+}
+
+// The golden-file compatibility pin, in both directions:
+//
+//  1. Reader compatibility — today's reader must load the committed v1
+//     fixture and reproduce it byte-exactly on re-encode. Breaking this
+//     breaks every model file in production.
+//  2. Writer stability — encoding the fixture's model today must produce
+//     the committed bytes. If an intentional encoding change trips this,
+//     bump store.FormatVersion, keep a reader for v1, and regenerate the
+//     fixture with -update; silently shifting the meaning of version 1
+//     is the one thing a versioned format must never do.
+func TestGoldenModelV1(t *testing.T) {
+	m := goldenModel(t)
+	data, err := core.EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes) — commit it together with the FormatVersion bump", goldenPath, len(data))
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+
+	if !bytes.Equal(data, golden) {
+		t.Fatalf("the v1 encoding drifted: encoding the fixture model produced %d bytes that differ from the committed %d-byte fixture.\n"+
+			"If this change is intentional, bump store.FormatVersion (keeping a reader for v1) and regenerate with:\n"+
+			"  go test ./internal/store -run TestGoldenModelV1 -update", len(data), len(golden))
+	}
+
+	lm, err := core.DecodeModel(golden)
+	if err != nil {
+		t.Fatalf("today's reader cannot load the v1 fixture: %v", err)
+	}
+	back, err := core.EncodeModel(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, golden) {
+		t.Fatal("loading the v1 fixture and re-encoding does not reproduce it byte-exactly")
+	}
+	if lm.Dump() != m.Dump() {
+		t.Fatal("fixture model's tree differs after loading")
+	}
+}
+
+// The fixture must also be inspectable without decoding its tree.
+func TestGoldenModelInspect(t *testing.T) {
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skip("golden fixture missing")
+	}
+	info, err := core.InspectModel(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Config.Seed != 42 || info.Config.NumSamples != 20 || info.Config.SampleSize != 4 {
+		t.Fatalf("inspected provenance wrong: %+v", info.Config)
+	}
+	if len(info.Templates) != 3 || len(info.VMTypes) != 2 {
+		t.Fatalf("inspected environment wrong: %d templates, %d VM types", len(info.Templates), len(info.VMTypes))
+	}
+	if info.Goal.Name() != "Max" {
+		t.Fatalf("inspected goal %q", info.Goal.Name())
+	}
+	if !info.HasTrainingData || info.Hash == 0 {
+		t.Fatalf("inspection missed sections: %+v", info)
+	}
+}

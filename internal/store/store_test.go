@@ -1,0 +1,207 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// payload builds a distinguishable fake epoch payload.
+func payload(epoch uint64) []byte {
+	return []byte(fmt.Sprintf("model-payload-%d-%s", epoch, "xxxxxxxxxxxxxxxx"))
+}
+
+func mustCommit(t *testing.T, s *ModelStore, epoch uint64) {
+	t.Helper()
+	lin := Lineage{Epoch: epoch, Reason: "manual"}
+	if epoch > 0 {
+		lin.Parent = epoch - 1
+	} else {
+		lin.Reason = "base"
+	}
+	if err := s.Commit(payload(epoch), lin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelStoreCommitLatestLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Latest(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty store: want ErrEmpty, got %v", err)
+	}
+	for e := uint64(0); e < 3; e++ {
+		mustCommit(t, s, e)
+	}
+	lin, data, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Epoch != 2 || string(data) != string(payload(2)) {
+		t.Fatalf("latest: epoch %d, %q", lin.Epoch, data)
+	}
+	if lin.Parent != 1 || lin.Reason != "manual" || lin.SavedAt.IsZero() {
+		t.Fatalf("lineage not recorded: %+v", lin)
+	}
+	if _, data, err = s.Load(0); err != nil || string(data) != string(payload(0)) {
+		t.Fatalf("load epoch 0: %q, %v", data, err)
+	}
+	if err := s.Commit(payload(2), Lineage{Epoch: 2}); err == nil {
+		t.Fatal("double-commit of an epoch must error")
+	}
+
+	// Reopen: everything survives.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.Entries()); got != 3 {
+		t.Fatalf("reopened store has %d entries, want 3", got)
+	}
+}
+
+func TestModelStorePruneKeepsNewest(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetKeep(2)
+	for e := uint64(0); e < 5; e++ {
+		mustCommit(t, s, e)
+	}
+	entries := s.Entries()
+	if len(entries) != 2 || entries[0].Epoch != 3 || entries[1].Epoch != 4 {
+		t.Fatalf("prune kept %+v, want epochs 3,4", entries)
+	}
+	if _, err := os.Stat(s.epochPath(0)); !os.IsNotExist(err) {
+		t.Fatal("pruned epoch file still on disk")
+	}
+	if _, err := os.Stat(s.epochPath(4)); err != nil {
+		t.Fatal("retained epoch file missing")
+	}
+}
+
+// A short write to the payload file must fail the commit and leave the
+// store — in memory and after reopen — on its previous committed state.
+func TestModelStoreShortWriteKeepsLastGood(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, s, 0)
+	// The injected writer simulates a crash mid-write: half the payload
+	// lands at the *final* path (as if rename already happened against a
+	// torn page, the worst case for a non-atomic writer), then the write
+	// errors.
+	s.SetPayloadWriter(func(path string, data []byte) error {
+		os.WriteFile(path, data[:len(data)/2], 0o644)
+		return errors.New("injected short write")
+	})
+	if err := s.Commit(payload(1), Lineage{Epoch: 1, Parent: 0, Reason: "drift"}); err == nil {
+		t.Fatal("commit with failing writer must error")
+	}
+	s.SetPayloadWriter(nil)
+	if lin, data, err := s.Latest(); err != nil || lin.Epoch != 0 || string(data) != string(payload(0)) {
+		t.Fatalf("after failed commit: epoch %d err %v", lin.Epoch, err)
+	}
+
+	// Reopen: the torn epoch-1 file is an unacknowledged orphan and is
+	// swept; epoch 0 still serves.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, data, err := s2.Latest()
+	if err != nil || lin.Epoch != 0 || string(data) != string(payload(0)) {
+		t.Fatalf("reopened after torn write: epoch %d err %v", lin.Epoch, err)
+	}
+	if _, err := os.Stat(s2.epochPath(1)); !os.IsNotExist(err) {
+		t.Fatal("torn unacknowledged epoch file survived recovery")
+	}
+	// The store keeps working after recovery.
+	mustCommit(t, s2, 1)
+}
+
+// A manifest-acknowledged file that is later truncated (bit rot, partial
+// restore) must be quarantined on reopen, with Latest falling back to the
+// last intact epoch.
+func TestModelStoreRecoveryQuarantinesCorruptEpoch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, s, 0)
+	mustCommit(t, s, 1)
+	// Truncate the newest epoch file behind the manifest's back.
+	if err := os.WriteFile(s.epochPath(1), payload(1)[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, data, err := s2.Latest()
+	if err != nil || lin.Epoch != 0 || string(data) != string(payload(0)) {
+		t.Fatalf("want fallback to epoch 0, got epoch %d err %v", lin.Epoch, err)
+	}
+	if _, err := os.Stat(s2.epochPath(1) + ".corrupt"); err != nil {
+		t.Fatal("corrupt epoch was not quarantined")
+	}
+	// Corrupted-in-place (same size, flipped bits) is caught by CRC too.
+	bad := payload(0)
+	bad[0] ^= 0xFF
+	if err := os.WriteFile(s2.epochPath(0), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s3.Latest(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("all epochs corrupt: want ErrEmpty, got %v", err)
+	}
+}
+
+// Stray temp files from interrupted atomic writes are swept on open.
+func TestModelStoreRecoverySweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, s, 0)
+	tmp := filepath.Join(dir, "epoch-00000001.wsdb.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("temp file survived recovery")
+	}
+}
+
+// The manifest's size/CRC must describe the payload exactly.
+func TestModelStoreLineageIntegrityFields(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := payload(0)
+	if err := s.Commit(data, Lineage{Epoch: 0, Reason: "base", ModelHash: 0xDEADBEEF}); err != nil {
+		t.Fatal(err)
+	}
+	e := s.Entries()[0]
+	if e.Size != int64(len(data)) || e.CRC != crc32.ChecksumIEEE(data) || e.ModelHash != 0xDEADBEEF {
+		t.Fatalf("lineage integrity fields wrong: %+v", e)
+	}
+}

@@ -27,6 +27,12 @@
 // exploration of performance/cost trade-offs (Advisor.Recommend), and
 // non-preemptive online scheduling (NewOnlineScheduler).
 //
+// Models persist across restarts: SaveModel/LoadModel round-trip a trained
+// model through a versioned, checksummed binary format with zero training
+// searches on load, and a serving engine checkpoints every hot-swapped
+// epoch to a crash-safe ModelStore (Registry().CheckpointTo) from which
+// NewOnlineSchedulerFromStore warm-starts after a restart.
+//
 // Training solves its N sample workloads on a worker pool
 // (TrainConfig.Parallelism, default all cores) and is bit-identical for
 // every worker count; Advisor.TrainContext accepts a context for
@@ -44,6 +50,7 @@ import (
 	"wisedb/internal/core"
 	"wisedb/internal/schedule"
 	"wisedb/internal/sla"
+	"wisedb/internal/store"
 	"wisedb/internal/workload"
 )
 
@@ -86,6 +93,37 @@ type (
 	// RetrainFunc builds a replacement model for an observed arrival mix.
 	RetrainFunc = core.RetrainFunc
 )
+
+// Durable model persistence types.
+type (
+	// ModelStore is a crash-safe on-disk directory of model epochs.
+	ModelStore = store.ModelStore
+	// Lineage records one persisted epoch's provenance (parent epoch,
+	// install reason, trigger EMD, target mix, content hash).
+	Lineage = store.Lineage
+	// ModelInfo summarizes a model file without decoding its tree.
+	ModelInfo = core.ModelInfo
+)
+
+// Typed decode errors of the model format (match with errors.Is).
+var (
+	// ErrBadMagic reports input that is not a WiSeDB model container.
+	ErrBadMagic = store.ErrBadMagic
+	// ErrVersion reports a container from an unsupported format version.
+	ErrVersion = store.ErrVersion
+	// ErrTruncated reports input shorter than its own structure claims.
+	ErrTruncated = store.ErrTruncated
+	// ErrCRC reports a section failing its checksum.
+	ErrCRC = store.ErrCRC
+	// ErrCorrupt reports structurally invalid section content.
+	ErrCorrupt = store.ErrCorrupt
+	// ErrEmptyStore reports a model store with no recoverable epochs.
+	ErrEmptyStore = store.ErrEmpty
+)
+
+// ModelFormatVersion is the version of the model container format this
+// build reads and writes.
+const ModelFormatVersion = store.FormatVersion
 
 // Workload model types.
 type (
@@ -161,6 +199,24 @@ var (
 	// DriftRetrain is the default drift response: re-train toward the
 	// observed arrival mix at the base model's scale.
 	DriftRetrain = core.DriftRetrain
+
+	// SaveModel atomically writes a model's versioned binary encoding;
+	// LoadModel reads one back, serving-ready with zero training
+	// searches. EncodeModel/DecodeModel are the in-memory counterparts,
+	// and InspectModel summarizes a file without decoding its tree.
+	SaveModel    = core.SaveModelFile
+	LoadModel    = core.LoadModelFile
+	EncodeModel  = core.EncodeModel
+	DecodeModel  = core.DecodeModel
+	InspectModel = core.InspectModel
+	// ModelSectionName renders a model-container section ID.
+	ModelSectionName = core.SectionName
+	// OpenModelStore opens (creating and crash-recovering as needed) a
+	// durable model store directory.
+	OpenModelStore = store.Open
+	// NewOnlineSchedulerFromStore warm-starts a serving engine from a
+	// model store's newest intact epoch.
+	NewOnlineSchedulerFromStore = core.NewOnlineSchedulerFromStore
 
 	// DefaultTemplates synthesizes the paper's TPC-H-like template set.
 	DefaultTemplates = workload.DefaultTemplates
