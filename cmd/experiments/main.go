@@ -35,6 +35,7 @@ func run() int {
 		"max expansions per exact-optimum comparator search; capped trials fall back to the best known bound and are reported in the tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit (records lock hold-ups, e.g. ω-map stripe contention)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -50,6 +51,22 @@ func run() int {
 			return 1
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *mutexprofile != "" {
+		// Sample every mutex hold-up; the experiments are minutes long, so
+		// full sampling costs little and keeps rare-but-long stalls visible.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprofile: %v\n", err)
+			}
+		}()
 	}
 	if *memprofile != "" {
 		defer func() {
@@ -93,6 +110,7 @@ func run() int {
 		// "Serving at scale").
 		"serve":    wrap(cfg.ServeThroughput),
 		"recovery": wrap(cfg.ServeRecovery),
+		"scaleout": wrap(cfg.ServeScaleOut),
 	}
 
 	args := flag.Args()
@@ -142,7 +160,7 @@ func figNum(name string) int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-parallelism P] [-expansion-cap N] [-cpuprofile F] [-memprofile F] all | figN [figM ...]
+	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] [-parallelism P] [-expansion-cap N] [-cpuprofile F] [-memprofile F] [-mutexprofile F] all | figN [figM ...]
 
 Regenerates the evaluation figures of the WiSeDB paper (VLDB 2016, §7):
   fig9   optimality across performance metrics      fig16  adaptive re-training time
@@ -156,5 +174,6 @@ Regenerates the evaluation figures of the WiSeDB paper (VLDB 2016, §7):
 Serving-at-scale experiments (beyond the paper):
   serve     multi-tenant serving throughput (K streams, p50/p99, SLA violations)
   recovery  injected mix shift: drift detection via EMD + model hot-swap recovery
+  scaleout  sharded engine: 1 -> 10k tenant streams, sharded vs unsharded arrivals/sec
 `)
 }

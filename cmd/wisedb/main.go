@@ -21,6 +21,13 @@
 // (inject a template-mix shift mid-stream), and -drift-window (detect it
 // via EMD and hot-swap an adapted model).
 //
+// serve scales out: streams are tenants placed onto engine shards by
+// consistent hashing (-shards, default one per core), and -registries N
+// hosts N model registries (tenant tiers) with independent drift-retrain
+// lifecycles — tenants bind to them round-robin. `wisedb serve
+// -streams 10000 -queries 4` is the 10k-stream load-generator mode; the
+// summary reports migrations, shared retrains, and ω-map build counts.
+//
 // Model persistence: `wisedb train -o m.wsdb && wisedb serve -model m.wsdb`
 // serves with zero training searches at startup. With -store DIR the
 // server warm-starts from the newest checkpointed epoch in DIR (training
@@ -57,8 +64,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	tiers := flag.Int("k", 3, "service tiers for recommend")
 	delay := flag.Duration("delay", 10*time.Second, "inter-arrival delay for online/serve")
-	parallelism := flag.Int("parallelism", 0, "worker goroutines for training and serve streams (0 = all cores)")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for training (0 = all cores); serve concurrency comes from -shards")
 	streams := flag.Int("streams", 16, "concurrent tenant streams for serve")
+	shards := flag.Int("shards", 0, "serve: engine shards for consistent-hash tenant placement (0 = one per core)")
+	registries := flag.Int("registries", 1, "serve: model registries (tenant tiers); streams bind round-robin")
 	skew := flag.Float64("skew", 0, "serve: template-mix skew injected mid-stream (0 = no shift, up to 1)")
 	shiftAt := flag.Float64("shift-at", 0.5, "serve: fraction of each stream after which the mix shifts")
 	driftWindow := flag.Int("drift-window", 48, "serve: sliding-histogram size for EMD drift detection (0 = off)")
@@ -186,13 +195,25 @@ func main() {
 	case "serve":
 		opts := wisedb.DefaultOnlineOptions()
 		opts.Drift = wisedb.DriftOptions{Window: *driftWindow}
+		opts.Shards = *shards
 		engine, ms := buildServeEngine(opts, getModel, *modelPath, *storeDir, *checkpoint)
+		base := engine.Registry().Current().Model
+		// Tenant tiers: registry 0 is the engine's default; each extra one
+		// shares the base model but retrains (and checkpoints) on its own.
+		regNames := []string{""}
+		for i := 1; i < *registries; i++ {
+			name := fmt.Sprintf("tier-%d", i)
+			if _, err := engine.AddRegistry(name, base); err != nil {
+				log.Fatal(err)
+			}
+			regNames = append(regNames, name)
+		}
 		// Generate load against the serving model's own template set: a
 		// loaded or warm-started model defines its environment.
-		serve(engine, engine.Registry().Current().Model.Env().Templates, serveConfig{
+		serve(engine, base.Env().Templates, serveConfig{
 			streams: *streams, queries: *queries, delay: *delay, seed: *seed,
 			skew: *skew, shiftAt: *shiftAt,
-			parallelism: *parallelism,
+			registries: regNames,
 		})
 		if ms != nil {
 			if latest, ok := ms.LatestEpoch(); ok {
@@ -247,18 +268,20 @@ type serveConfig struct {
 	delay            time.Duration
 	seed             int64
 	skew, shiftAt    float64
-	parallelism      int
+	registries       []string // tier names; "" is the default registry
 }
 
-// serve drives K concurrent tenant streams through one serving engine at
-// full speed (virtual arrival clocks, real concurrency) and reports
-// throughput, tail advisor latency, SLA violations, and — when a mix shift
-// is injected — the registry's drift detections, hot swaps, and checkpoints.
+// serve drives K tenant streams through one serving engine at full speed
+// (virtual arrival clocks, real concurrency): tenants are placed onto the
+// engine's shards by consistent hashing and bound round-robin to its
+// registries. The summary reports throughput, tail advisor latency, SLA
+// violations, the scale-out counters, and — when a mix shift is injected —
+// each registry's drift detections, hot swaps, and checkpoints.
 func serve(engine *wisedb.OnlineScheduler, templates []wisedb.Template, cfg serveConfig) {
-	ws := make([]*wisedb.Workload, cfg.streams)
+	tenants := make([]wisedb.Tenant, cfg.streams)
 	shift := int(float64(cfg.queries) * cfg.shiftAt)
 	k := len(templates)
-	for i := range ws {
+	for i := range tenants {
 		sampler := wisedb.NewSampler(templates, cfg.seed+int64(i)*101)
 		var queries []wisedb.Query
 		if cfg.skew > 0 {
@@ -277,16 +300,29 @@ func serve(engine *wisedb.OnlineScheduler, templates []wisedb.Template, cfg serv
 			arrivals[j] = time.Duration(j) * cfg.delay
 		}
 		w := &wisedb.Workload{Templates: templates, Queries: queries}
-		ws[i] = w.WithArrivals(arrivals)
+		tenants[i] = wisedb.Tenant{
+			ID:       wisedb.HashTenantID(fmt.Sprintf("tenant-%05d", i)),
+			Registry: cfg.registries[i%len(cfg.registries)],
+			Workload: w.WithArrivals(arrivals),
+		}
 	}
 
 	start := time.Now()
-	results, err := engine.RunStreams(context.Background(), ws, cfg.parallelism)
+	results, err := engine.RunTenants(context.Background(), tenants)
 	elapsed := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine.Registry().Wait() // drain background retrains and checkpoints
+	// Drain every registry's background retrains and checkpoints.
+	registryOf := func(name string) *wisedb.ModelRegistry {
+		if name == "" {
+			return engine.Registry()
+		}
+		return engine.RegistryNamed(name)
+	}
+	for _, name := range cfg.registries {
+		registryOf(name).Wait()
+	}
 
 	totalArrivals, rented := 0, 0
 	cost := 0.0
@@ -313,9 +349,31 @@ func serve(engine *wisedb.OnlineScheduler, templates []wisedb.Template, cfg serv
 		float64(totalArrivals)/elapsed.Seconds())
 	fmt.Printf("advisor latency p50 %s  p99 %s; %d VMs rented, total cost %.2f¢\n",
 		pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond), rented, cost)
-	stats := engine.Registry().Stats()
-	fmt.Printf("model lifecycle: %d drift triggers, %d retrains, %d hot swaps, final epoch %d, %d derived-model builds\n",
-		driftTriggers, stats.Triggers, stats.Swaps, stats.Epoch, engine.CacheStats())
+	scale := engine.ScaleStats()
+	fmt.Printf("scale-out: %d shards (%d active), %d registries, %d migrations, %d shared retrains, ω-map %d builds / %d entries\n",
+		scale.Shards, scale.ActiveShards, scale.Registries, scale.Migrations,
+		scale.SharedRetrains, scale.CacheBuilds, scale.CacheEntries)
+	// Lifecycle counters summed across registries; each tier detects drift
+	// and hot-swaps on its own.
+	var stats wisedb.RegistryStats
+	for _, name := range cfg.registries {
+		s := registryOf(name).Stats()
+		stats.Triggers += s.Triggers
+		stats.Swaps += s.Swaps
+		stats.Checkpoints += s.Checkpoints
+		stats.CheckpointFailures += s.CheckpointFailures
+		if s.Epoch > stats.Epoch {
+			stats.Epoch = s.Epoch
+		}
+		if s.LastErr != nil {
+			stats.LastErr = s.LastErr
+		}
+		if s.LastCheckpointErr != nil {
+			stats.LastCheckpointErr = s.LastCheckpointErr
+		}
+	}
+	fmt.Printf("model lifecycle: %d drift triggers, %d retrains, %d hot swaps, newest epoch %d\n",
+		driftTriggers, stats.Triggers, stats.Swaps, stats.Epoch)
 	if stats.Checkpoints > 0 || stats.CheckpointFailures > 0 {
 		fmt.Printf("checkpoints: %d committed, %d failed\n", stats.Checkpoints, stats.CheckpointFailures)
 	}

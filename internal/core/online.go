@@ -45,6 +45,17 @@ type OnlineOptions struct {
 	// Drift configures workload-drift detection and model hot-swapping
 	// (§6's adaptive loop). Disabled by default; see DriftOptions.
 	Drift DriftOptions
+	// CacheShards is the stripe count of the engine-wide ω-map. Zero
+	// selects DefaultCacheShards; values are rounded up to a power of
+	// two. One stripe reproduces the old single-lock cache — useful only
+	// as a contention measurement baseline.
+	CacheShards int
+	// Shards is the number of engine shards for consistent-hash tenant
+	// placement (RunTenants): worker-pool partitions with shard-local
+	// run queues and stream scratch. Zero selects GOMAXPROCS. Streams
+	// can be migrated between shards live (Rebalance) without dropping
+	// or doubling in-flight arrivals.
+	Shards int
 }
 
 // DefaultOnlineOptions enables both optimizations and re-trains augmented
@@ -115,13 +126,15 @@ type augKey struct {
 }
 
 // OnlineScheduler is the multi-tenant online serving engine (§6.3,
-// productionized): it owns the model lifecycle (a ModelRegistry holding the
-// hot-swappable serving epoch), the shared ω-map of derived models, and a
-// pool of per-stream state. Each tenant stream — a Stream created by
-// NewStream, or one run of Run/RunContext/RunStreams — carries its own
-// simulator, arrival bookkeeping, and scratch, so any number of streams
-// proceed concurrently with no serialization beyond the rare shared model
-// build.
+// productionized): it owns the model lifecycle (one or more ModelRegistrys,
+// each holding a hot-swappable serving epoch for one SLA goal / tenant
+// tier), the shared striped ω-map of derived models, and consistent-hash
+// tenant placement over engine shards. Each tenant stream — a Stream
+// created by NewStream/NewStreamOn, or one run of Run/RunContext/
+// RunStreams/RunTenants — carries its own simulator, arrival bookkeeping,
+// and scratch, and is bound to one registry at open time, so any number of
+// streams proceed concurrently with no serialization beyond the rare
+// shared model build.
 //
 // An OnlineScheduler is safe for concurrent use.
 type OnlineScheduler struct {
@@ -129,10 +142,29 @@ type OnlineScheduler struct {
 	env  *schedule.Env
 	goal sla.Goal
 
-	registry *ModelRegistry
+	registry *ModelRegistry // the default registry (DefaultRegistry)
 	cache    modelCache
 	pool     sync.Pool // *Stream
 	active   atomic.Int64
+
+	// regMu guards the named-registry table; lookups off the arrival path
+	// only (streams bind at open time).
+	regMu   sync.RWMutex
+	regs    map[string]*ModelRegistry
+	regList []*ModelRegistry // by id, for stats
+
+	// share dedups drift retrains across registries: when two registries
+	// converge on the same (goal, training config, mix), the second
+	// reuses the first's model instead of duplicating the training
+	// searches.
+	share retrainShare
+
+	// shards and ring implement consistent-hash tenant placement; see
+	// shard.go. ring is swapped atomically by Rebalance, exactly like a
+	// registry epoch: tenant tasks load it once per arrival event.
+	shards     []engineShard
+	ring       atomic.Pointer[hashRing]
+	migrations atomic.Int64
 
 	// retrainCtx governs background drift retrains: they outlive the
 	// triggering stream so other tenants benefit from the swap.
@@ -143,6 +175,10 @@ type OnlineScheduler struct {
 	// advisor window (§6.3's overhead metric excludes execution).
 	placeStarted func(res *OnlineResult)
 }
+
+// DefaultRegistry is the name of the registry every engine starts with —
+// the one NewStream, Run, and RunStreams bind to.
+const DefaultRegistry = "default"
 
 // NewOnlineScheduler returns a serving engine over the base model. The
 // Shift optimization additionally requires the base model to retain
@@ -159,14 +195,81 @@ func NewOnlineScheduler(base *Model, opts OnlineOptions) *OnlineScheduler {
 		opts:       opts,
 		env:        base.env,
 		goal:       base.Goal,
-		registry:   NewModelRegistry(base),
 		retrainCtx: context.Background(),
 	}
-	o.cache.init()
-	// A hot swap retires every derived model of older epochs: their cache
-	// keys can never be requested again.
-	o.registry.onSwap = func(e *ModelEpoch) { o.cache.evictBefore(e.Epoch) }
+	o.cache.init(opts.CacheShards)
+	o.share.init()
+	o.initShards(opts.Shards)
+	o.registry = o.attachRegistry(DefaultRegistry, NewModelRegistry(base))
 	return o
+}
+
+// attachRegistry wires a registry into the engine: assigns its ω-map
+// stripe id, points its swap notification at the striped cache, wraps its
+// retrain in the cross-registry share, and records it under name.
+func (o *OnlineScheduler) attachRegistry(name string, r *ModelRegistry) *ModelRegistry {
+	o.regMu.Lock()
+	defer o.regMu.Unlock()
+	if o.regs == nil {
+		o.regs = map[string]*ModelRegistry{}
+	}
+	id := uint32(len(o.regList))
+	r.id = id
+	// A hot swap retires every derived model of this registry's older
+	// epochs: their cache keys can never be requested again.
+	r.onSwap = func(e *ModelEpoch) { o.cache.evictBefore(id, e.Epoch) }
+	inner := r.retrain
+	r.retrain = func(ctx context.Context, cur *ModelEpoch, mix []float64) (*Model, error) {
+		return o.share.retrain(ctx, cur, mix, inner)
+	}
+	o.regs[name] = r
+	o.regList = append(o.regList, r)
+	return r
+}
+
+// AddRegistry adds a named model registry to the engine — one per SLA goal
+// or tenant tier — serving base as its epoch 0 with its own drift-retrain
+// lifecycle and (optionally, via ModelRegistry.CheckpointTo) its own
+// checkpoint store. Streams bind to a registry at open time (NewStreamOn,
+// RunOn, Tenant.Registry); the engine's ω-map and worker shards are shared
+// across registries, and drift retrains that converge on the same (goal,
+// mix) are built once and shared (see ScaleStats.SharedRetrains).
+//
+// The base model must be bound to an environment with the same template
+// and VM-type counts as the engine's: streams of every registry place onto
+// the same simulated fleet shapes. Call before serving begins.
+func (o *OnlineScheduler) AddRegistry(name string, base *Model) (*ModelRegistry, error) {
+	if name == "" {
+		return nil, errors.New("core: AddRegistry requires a name")
+	}
+	if base == nil {
+		return nil, errors.New("core: AddRegistry requires a base model")
+	}
+	if len(base.env.Templates) != len(o.env.Templates) || len(base.env.VMTypes) != len(o.env.VMTypes) {
+		return nil, fmt.Errorf("core: registry %q: base model has %d templates x %d VM types, engine has %d x %d",
+			name, len(base.env.Templates), len(base.env.VMTypes), len(o.env.Templates), len(o.env.VMTypes))
+	}
+	o.regMu.RLock()
+	_, exists := o.regs[name]
+	o.regMu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("core: registry %q already exists", name)
+	}
+	return o.attachRegistry(name, NewModelRegistry(base)), nil
+}
+
+// RegistryNamed returns the named registry, or nil if it does not exist.
+func (o *OnlineScheduler) RegistryNamed(name string) *ModelRegistry {
+	o.regMu.RLock()
+	defer o.regMu.RUnlock()
+	return o.regs[name]
+}
+
+// Registries returns the number of registries the engine hosts.
+func (o *OnlineScheduler) Registries() int {
+	o.regMu.RLock()
+	defer o.regMu.RUnlock()
+	return len(o.regList)
 }
 
 // NewOnlineSchedulerFromStore warm-starts a serving engine from a durable
@@ -185,8 +288,9 @@ func NewOnlineSchedulerFromStore(ms *store.ModelStore, opts OnlineOptions) (*Onl
 	return o, nil
 }
 
-// Registry returns the engine's model lifecycle subsystem: the current
-// serving epoch, hot-swap entry points, and retrain statistics.
+// Registry returns the engine's default model lifecycle subsystem: the
+// current serving epoch, hot-swap entry points, and retrain statistics.
+// Named registries added with AddRegistry are reached via RegistryNamed.
 func (o *OnlineScheduler) Registry() *ModelRegistry { return o.registry }
 
 // ActiveStreams returns the number of streams currently open (acquired and
@@ -195,9 +299,49 @@ func (o *OnlineScheduler) ActiveStreams() int64 { return o.active.Load() }
 
 // CacheStats reports the shared ω-map's build counter: how many derived
 // (shifted or augmented) models the engine actually trained, across all
-// streams and epochs. Compare against the per-stream Adaptations and
-// Retrainings counters to see cross-tenant deduplication at work.
+// streams, registries, and epochs — aggregated over every cache stripe.
+// Compare against the per-stream Adaptations and Retrainings counters to
+// see cross-tenant deduplication at work.
 func (o *OnlineScheduler) CacheStats() (builds int64) { return o.cache.builds.Load() }
+
+// ScaleStats snapshots the engine's scale-out counters: sharding layout,
+// live migrations, ω-map size and builds, and cross-registry retrain
+// sharing.
+type ScaleStats struct {
+	// Shards is the engine's shard count; ActiveShards how many the
+	// current placement ring spreads tenants over (Rebalance shrinks or
+	// re-grows it).
+	Shards, ActiveShards int
+	// Migrations counts tenant streams handed between shards by a live
+	// rebalance, each without dropping or doubling an arrival.
+	Migrations int64
+	// Registries is the number of model registries the engine hosts.
+	Registries int
+	// SharedRetrains counts drift retrains satisfied by another
+	// registry's identical (goal, config, mix) build instead of a
+	// duplicate training search.
+	SharedRetrains int64
+	// CacheBuilds and CacheEntries describe the striped ω-map: real
+	// derived-model builds ever, and entries currently cached.
+	CacheBuilds  int64
+	CacheEntries int
+}
+
+// ScaleStats returns a consistent-enough snapshot for monitoring and tests.
+func (o *OnlineScheduler) ScaleStats() ScaleStats {
+	s := ScaleStats{
+		Shards:         len(o.shards),
+		Migrations:     o.migrations.Load(),
+		Registries:     o.Registries(),
+		SharedRetrains: o.share.shared.Load(),
+		CacheBuilds:    o.cache.builds.Load(),
+		CacheEntries:   o.cache.size(),
+	}
+	if r := o.ring.Load(); r != nil {
+		s.ActiveShards = r.active
+	}
+	return s
+}
 
 // Run schedules the workload's queries at their recorded arrival times and
 // simulates execution to completion. Many Run calls may proceed
@@ -210,12 +354,28 @@ func (o *OnlineScheduler) Run(w *workload.Workload) (*OnlineResult, error) {
 // any model acquisition) a cancelled ctx aborts the stream, releases its
 // simulated VMs, and returns ctx.Err().
 func (o *OnlineScheduler) RunContext(ctx context.Context, w *workload.Workload) (*OnlineResult, error) {
+	return o.runOn(ctx, o.registry, w)
+}
+
+// RunOn is RunContext against a named registry: the stream binds to that
+// registry's serving epochs (its goal, its drift lifecycle) for its whole
+// life.
+func (o *OnlineScheduler) RunOn(ctx context.Context, registry string, w *workload.Workload) (*OnlineResult, error) {
+	r := o.RegistryNamed(registry)
+	if r == nil {
+		return nil, fmt.Errorf("core: unknown registry %q", registry)
+	}
+	return o.runOn(ctx, r, w)
+}
+
+// runOn replays one workload as a stream bound to reg.
+func (o *OnlineScheduler) runOn(ctx context.Context, reg *ModelRegistry, w *workload.Workload) (*OnlineResult, error) {
 	if len(w.Templates) != len(o.env.Templates) {
 		return nil, fmt.Errorf("core: online workload has %d templates, model expects %d", len(w.Templates), len(o.env.Templates))
 	}
 	clk := &SimClock{}
-	s := o.acquireStream(clk)
-	defer o.releaseStream(s)
+	s := o.acquireStreamOn(reg, &o.pool, clk)
+	defer o.releaseStream(s, &o.pool)
 	s.Reserve(len(w.Queries))
 	q := newArrivalQueue(w.Queries)
 	for {
@@ -257,13 +417,47 @@ func (o *OnlineScheduler) RunStreams(ctx context.Context, streams []*workload.Wo
 	return results, nil
 }
 
-// NewStream opens an event-driven tenant stream against the engine: the
-// caller submits arrivals as they happen (Stream.Submit timestamps each
-// event with the clock) and closes with Stream.Finish. Use a SimClock the
-// driver advances for virtual time, or a WallClock for live serving —
-// the stream core is identical.
+// RunStreamsOn is RunStreams with every stream bound to the named registry.
+// For mixed tiers — or for consistent-hash shard placement and live
+// rebalancing — use RunTenants, which binds per tenant.
+func (o *OnlineScheduler) RunStreamsOn(ctx context.Context, registry string, streams []*workload.Workload, parallelism int) ([]*OnlineResult, error) {
+	r := o.RegistryNamed(registry)
+	if r == nil {
+		return nil, fmt.Errorf("core: unknown registry %q", registry)
+	}
+	results := make([]*OnlineResult, len(streams))
+	err := forEach(ctx, parallelism, len(streams), func(i int) error {
+		res, err := o.runOn(ctx, r, streams[i])
+		if err != nil {
+			return fmt.Errorf("core: online stream %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// NewStream opens an event-driven tenant stream against the engine's
+// default registry: the caller submits arrivals as they happen
+// (Stream.Submit timestamps each event with the clock) and closes with
+// Stream.Finish. Use a SimClock the driver advances for virtual time, or a
+// WallClock for live serving — the stream core is identical.
 func (o *OnlineScheduler) NewStream(clock Clock) *Stream {
-	return o.acquireStream(clock)
+	return o.acquireStreamOn(o.registry, &o.pool, clock)
+}
+
+// NewStreamOn is NewStream bound to a named registry (one SLA goal /
+// tenant tier): the stream serves from that registry's epochs and reports
+// drift to it.
+func (o *OnlineScheduler) NewStreamOn(registry string, clock Clock) (*Stream, error) {
+	r := o.RegistryNamed(registry)
+	if r == nil {
+		return nil, fmt.Errorf("core: unknown registry %q", registry)
+	}
+	return o.acquireStreamOn(r, &o.pool, clock), nil
 }
 
 // tagState is the per-query bookkeeping of a stream, indexed by query tag.
@@ -275,14 +469,19 @@ type tagState struct {
 
 // Stream is one tenant's arrival stream: per-stream simulator, per-query
 // bookkeeping, drift detector, and scratch buffers. Streams of one engine
-// share its model registry and ω-map but nothing mutable, so they run
-// concurrently without locks on the arrival path.
+// share its registries and ω-map but nothing mutable, so they run
+// concurrently without locks on the arrival path. Each stream is bound to
+// one registry at open time — its SLA goal, serving epochs, and drift
+// lifecycle come from that binding.
 //
-// A Stream is single-owner: one goroutine submits and finishes it. Query
-// tags must be small non-negative integers (bookkeeping is indexed by tag);
-// the samplers' dense 0..n−1 tags are ideal.
+// A Stream is single-owner: one goroutine submits and finishes it (in
+// sharded serving, ownership moves linearly between shard workers — never
+// two at once). Query tags must be small non-negative integers
+// (bookkeeping is indexed by tag); the samplers' dense 0..n−1 tags are
+// ideal.
 type Stream struct {
 	eng   *OnlineScheduler
+	reg   *ModelRegistry
 	clock Clock
 	sim   *cloud.Sim
 	res   *OnlineResult
@@ -322,9 +521,11 @@ type vmCandidate struct {
 	free time.Duration
 }
 
-// acquireStream draws a reset stream from the engine's pool.
-func (o *OnlineScheduler) acquireStream(clock Clock) *Stream {
-	s, _ := o.pool.Get().(*Stream)
+// acquireStreamOn draws a reset stream from the given scratch pool
+// (engine-wide, or an engine shard's local pool) and binds it to reg for
+// its whole life.
+func (o *OnlineScheduler) acquireStreamOn(reg *ModelRegistry, pool *sync.Pool, clock Clock) *Stream {
+	s, _ := pool.Get().(*Stream)
 	if s == nil {
 		s = &Stream{
 			eng:         o,
@@ -332,6 +533,7 @@ func (o *OnlineScheduler) acquireStream(clock Clock) *Stream {
 			seenAug:     map[augModelKey]struct{}{},
 		}
 	}
+	s.reg = reg
 	s.clock = clock
 	s.sim = cloud.NewSim()
 	s.res = &OnlineResult{}
@@ -346,7 +548,7 @@ func (o *OnlineScheduler) acquireStream(clock Clock) *Stream {
 		} else {
 			s.drift.reset()
 		}
-		s.driftEpoch = o.registry.Current().Epoch
+		s.driftEpoch = reg.Current().Epoch
 	} else {
 		s.drift = nil
 	}
@@ -354,18 +556,20 @@ func (o *OnlineScheduler) acquireStream(clock Clock) *Stream {
 	return s
 }
 
-// releaseStream returns a stream's scratch to the pool. The stream's result
-// (if finished) stays valid — results are never pooled. A stream released
-// before Finish counts as cancelled: its simulator, and with it every
-// rented VM, is dropped.
-func (o *OnlineScheduler) releaseStream(s *Stream) {
+// releaseStream returns a stream's scratch to a pool — the pool of
+// whichever shard the stream last ran on, so scratch stays shard-local
+// under sharded serving. The stream's result (if finished) stays valid —
+// results are never pooled. A stream released before Finish counts as
+// cancelled: its simulator, and with it every rented VM, is dropped.
+func (o *OnlineScheduler) releaseStream(s *Stream, pool *sync.Pool) {
 	if !s.done {
 		o.active.Add(-1)
 	}
 	s.sim = nil
 	s.res = nil
 	s.clock = nil
-	o.pool.Put(s)
+	s.reg = nil
+	pool.Put(s)
 }
 
 // Reserve preallocates the stream's bookkeeping for a run of n queries with
@@ -440,9 +644,11 @@ func (s *Stream) Finish() *OnlineResult {
 	res := s.res
 	res.Perf = perf
 	res.Outcomes = outcomes
-	res.Penalty = s.eng.goal.Penalty(perf)
+	// The penalty is judged by the stream's own registry: each tier's
+	// streams are scored against that tier's SLA goal.
+	res.Penalty = s.reg.Current().Model.Goal.Penalty(perf)
 	res.Cost = s.sim.ProvisioningCost() + res.Penalty
-	res.FinalEpoch = s.eng.registry.Current().Epoch
+	res.FinalEpoch = s.reg.Current().Epoch
 	return res
 }
 
@@ -468,7 +674,7 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 	// Load the serving epoch once per event: everything this arrival does
 	// uses it, so a hot swap landing mid-event cannot split the batch
 	// between two models.
-	epoch := s.eng.registry.Current()
+	epoch := s.reg.Current()
 	if s.drift != nil {
 		for _, q := range arrived {
 			// Rebaseline on any epoch install, not just this stream's own
@@ -486,7 +692,7 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 					return err
 				}
 				if swapped {
-					epoch = s.eng.registry.Current()
+					epoch = s.reg.Current()
 				}
 			}
 		}
@@ -521,7 +727,7 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 // it returns true; in background mode it returns false and the swap
 // arrives at a later event.
 func (s *Stream) triggerDrift(ctx context.Context, emd float64) (swapped bool, err error) {
-	r := s.eng.registry
+	r := s.reg
 	if s.eng.opts.Drift.Synchronous {
 		err := r.retrainNow(ctx, s.drift.mix(), emd)
 		switch {
@@ -591,8 +797,8 @@ func (s *Stream) shiftedModel(ctx context.Context, epoch *ModelEpoch, w time.Dur
 		s.res.Adaptations++
 		return m, nil
 	}
-	key := shiftKey{epoch: epoch.Epoch, wait: w}
-	m, err := getOrBuild(&s.eng.cache, s.eng.cache.shifted, key, ctx, func() (*Model, error) {
+	key := shiftKey{reg: s.reg.id, epoch: epoch.Epoch, wait: w}
+	m, err := getOrBuild(&s.eng.cache, shiftedMap, key, key.hash(), ctx, func() (*Model, error) {
 		return epoch.Model.ShiftedModelContext(ctx, w)
 	})
 	if err != nil {
@@ -658,8 +864,8 @@ func (s *Stream) scheduleAugmented(ctx context.Context, epoch *ModelEpoch, t tim
 	var m *Model
 	var err error
 	if s.eng.opts.Reuse {
-		key := augModelKey{epoch: epoch.Epoch, key: strings.Join(keyParts, ",")}
-		m, err = getOrBuild(&s.eng.cache, s.eng.cache.augmented, key, ctx, build)
+		key := augModelKey{reg: s.reg.id, epoch: epoch.Epoch, key: strings.Join(keyParts, ",")}
+		m, err = getOrBuild(&s.eng.cache, augmentedMap, key, key.hash(), ctx, build)
 		if err != nil {
 			return nil, err
 		}
@@ -797,17 +1003,52 @@ func (s *Stream) place(t time.Duration, sched *schedule.Schedule) error {
 }
 
 // shiftKey identifies a shifted model in the engine's ω-map: derived models
-// are keyed by the registry epoch of their base, so models adapted from a
-// superseded epoch are never served after a hot swap.
+// are keyed by the registry (reg) and epoch of their base, so models
+// adapted from a superseded epoch — or from another registry's identically
+// numbered epoch — are never served in the wrong place.
 type shiftKey struct {
+	reg   uint32
 	epoch uint64
 	wait  time.Duration
 }
 
 // augModelKey identifies an augmented-template model in the ω-map.
 type augModelKey struct {
+	reg   uint32
 	epoch uint64
 	key   string // sorted "template@waitBucket" pairs
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, high-quality 64-bit mixer the
+// cache uses to spread keys over its stripes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hash folds the key into a stripe selector. Allocation-free — it runs on
+// every derived-model lookup.
+func (k shiftKey) hash() uint64 {
+	return mix64(uint64(k.reg)<<48 ^ k.epoch<<20 ^ uint64(k.wait))
+}
+
+// hash folds the augmented key — FNV-1a over the ω-pattern string, mixed
+// with the registry and epoch.
+func (k augModelKey) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.key); i++ {
+		h ^= uint64(k.key[i])
+		h *= prime64
+	}
+	return mix64(h ^ uint64(k.reg)<<48 ^ k.epoch<<20)
 }
 
 // modelEntry is one ω-map slot. The builder closes done when the model (or
@@ -819,73 +1060,136 @@ type modelEntry struct {
 	err  error
 }
 
-// modelCache is the engine-wide ω-map (§6.3.1) shared by every stream.
-type modelCache struct {
+// cacheShard is one mutex stripe of the ω-map: its own lock, its own maps.
+// Lookups, inserts, and eviction for a key touch only the key's shard, so
+// unrelated derived-model traffic never serializes.
+type cacheShard struct {
 	mu        sync.Mutex
 	shifted   map[shiftKey]*modelEntry
 	augmented map[augModelKey]*modelEntry
-	builds    atomic.Int64
 }
 
-func (c *modelCache) init() {
-	c.shifted = map[shiftKey]*modelEntry{}
-	c.augmented = map[augModelKey]*modelEntry{}
+// DefaultCacheShards is the ω-map stripe count when OnlineOptions.CacheShards
+// is zero: enough stripes that even 10k concurrent streams rarely collide on
+// a lock, at a memory cost of a few empty maps.
+const DefaultCacheShards = 64
+
+// modelCache is the engine-wide ω-map (§6.3.1) shared by every stream,
+// striped over power-of-two cacheShard stripes so derived-model lookups
+// from many streams do not serialize on one lock. builds counts real model
+// builds across all stripes (CacheStats aggregates nothing else — the
+// stripes are an implementation detail of the lock, not of the contents).
+type modelCache struct {
+	shards []cacheShard
+	mask   uint64
+	builds atomic.Int64
 }
 
-// evictBefore drops every entry derived from an epoch older than epoch.
+// init sizes the stripe array. shards is rounded up to a power of two;
+// shards <= 0 selects DefaultCacheShards. shards == 1 degenerates to the
+// old single-lock ω-map — kept reachable as the measurement baseline for
+// the striped-vs-global contention numbers in EXPERIMENTS.md.
+func (c *modelCache) init(shards int) {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c.shards = make([]cacheShard, n)
+	c.mask = uint64(n - 1)
+	for i := range c.shards {
+		c.shards[i].shifted = map[shiftKey]*modelEntry{}
+		c.shards[i].augmented = map[augModelKey]*modelEntry{}
+	}
+}
+
+// shard returns the stripe owning a key hash.
+func (c *modelCache) shard(hash uint64) *cacheShard { return &c.shards[hash&c.mask] }
+
+// size reports the total number of cached derived models across stripes.
+func (c *modelCache) size() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.shifted) + len(s.augmented)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// evictBefore drops every entry derived from reg's epochs older than epoch.
 // Called on each hot swap: superseded derived models can never be served
-// again (cache keys embed the epoch), and without eviction a long-running
-// engine would pin every old base model — and its retained training data —
-// for its whole lifetime. Streams still mid-event on the old epoch hold
-// their entries directly, so eviction never invalidates an in-flight use.
-func (c *modelCache) evictBefore(epoch uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k := range c.shifted {
-		if k.epoch < epoch {
-			delete(c.shifted, k)
+// again (cache keys embed registry and epoch), and without eviction a
+// long-running engine would pin every old base model — and its retained
+// training data — for its whole lifetime. Eviction is per-stripe: each
+// stripe is locked, scanned, and released independently, so a hot swap
+// never stalls lookups on unrelated stripes (and other registries' entries
+// are untouched). Streams still mid-event on the old epoch hold their
+// entries directly, so eviction never invalidates an in-flight use.
+func (c *modelCache) evictBefore(reg uint32, epoch uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.shifted {
+			if k.reg == reg && k.epoch < epoch {
+				delete(s.shifted, k)
+			}
 		}
-	}
-	for k := range c.augmented {
-		if k.epoch < epoch {
-			delete(c.augmented, k)
+		for k := range s.augmented {
+			if k.reg == reg && k.epoch < epoch {
+				delete(s.augmented, k)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
+
+// shiftedMap and augmentedMap select a stripe's map for the generic
+// getOrBuild; declared as named functions so the call sites pass a static
+// function value — no closure allocation on the lookup path.
+func shiftedMap(s *cacheShard) map[shiftKey]*modelEntry      { return s.shifted }
+func augmentedMap(s *cacheShard) map[augModelKey]*modelEntry { return s.augmented }
 
 // getOrBuild returns the cached model for key, building it at most once at
-// a time across concurrent requesters. A failed build (including a
-// cancelled one) is evicted, and waiting requesters do not adopt the
+// a time across concurrent requesters. Only the key's stripe is locked —
+// and only around the map probe, never across a build — so concurrent
+// lookups of unrelated keys proceed in parallel. A failed build (including
+// a cancelled one) is evicted, and waiting requesters do not adopt the
 // failure — another tenant's cancelled context must not abort a healthy
 // stream — they retry, becoming the builder themselves or waiting on a
 // newer build. A builder always returns its own outcome, and a requester
 // whose own ctx expires returns its ctx error without waiting out a build.
-func getOrBuild[K comparable](c *modelCache, m map[K]*modelEntry, key K, ctx context.Context, build func() (*Model, error)) (*Model, error) {
+func getOrBuild[K comparable](c *modelCache, pick func(*cacheShard) map[K]*modelEntry, key K, hash uint64, ctx context.Context, build func() (*Model, error)) (*Model, error) {
+	s := c.shard(hash)
+	m := pick(s)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		c.mu.Lock()
+		s.mu.Lock()
 		e, ok := m[key]
 		if !ok {
 			e = &modelEntry{done: make(chan struct{})}
 			m[key] = e
-			c.mu.Unlock()
+			s.mu.Unlock()
 			c.builds.Add(1)
 			e.m, e.err = build()
 			if e.err != nil {
-				c.mu.Lock()
+				s.mu.Lock()
 				// Evict only our own entry: a pruned-and-replaced slot
 				// belongs to a newer build.
 				if cur, ok := m[key]; ok && cur == e {
 					delete(m, key)
 				}
-				c.mu.Unlock()
+				s.mu.Unlock()
 			}
 			close(e.done)
 			return e.m, e.err
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		select {
 		case <-e.done:
 			if e.err == nil {

@@ -274,17 +274,11 @@ func TestHotSwapEvictsSupersededDerivedModels(t *testing.T) {
 	if _, err := s.shiftedModel(context.Background(), epoch, 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	o.cache.mu.Lock()
-	cached := len(o.cache.shifted)
-	o.cache.mu.Unlock()
-	if cached != 1 {
+	if cached := o.cache.size(); cached != 1 {
 		t.Fatalf("want 1 cached shifted model before the swap, got %d", cached)
 	}
 	o.Registry().Swap(base, nil)
-	o.cache.mu.Lock()
-	cached = len(o.cache.shifted) + len(o.cache.augmented)
-	o.cache.mu.Unlock()
-	if cached != 0 {
+	if cached := o.cache.size(); cached != 0 {
 		t.Fatalf("superseded derived models survived the hot swap: %d entries", cached)
 	}
 }

@@ -49,6 +49,11 @@ type RetrainFunc func(ctx context.Context, cur *ModelEpoch, mix []float64) (*Mod
 type ModelRegistry struct {
 	cur     atomic.Pointer[ModelEpoch]
 	retrain RetrainFunc
+	// id is the engine-assigned registry index. The engine's shared ω-map
+	// embeds it in every derived-model key, so two registries' epoch
+	// numbers never collide in the striped cache. Zero for a standalone
+	// registry and for an engine's default registry.
+	id uint32
 	// onSwap, when non-nil, runs after each epoch installation (under the
 	// swap lock). The serving engine uses it to evict derived models of
 	// superseded epochs from its ω-map.

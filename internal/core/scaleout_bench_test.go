@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkShardedCacheContention measures the ω-map's lock cost under
+// parallel hot-key traffic: every worker loops over the same 64 hot keys,
+// so stripes=1 (the old single-mutex cache) serializes on one lock while
+// stripes=64 spreads the same traffic over independent stripes. The
+// ns/op gap is the headline scale-out number CI persists in
+// BENCH_scaleout.json; EXPERIMENTS.md records the mutex-profile
+// before/after on the reference runner.
+func BenchmarkShardedCacheContention(b *testing.B) {
+	m := benchModel(b)
+	for _, stripes := range []int{1, 64} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			var c modelCache
+			c.init(stripes)
+			keys := make([]shiftKey, 64)
+			for i := range keys {
+				keys[i] = shiftKey{epoch: 0, wait: time.Duration(i) * time.Second}
+				if _, err := getOrBuild(&c, shiftedMap, keys[i], keys[i].hash(), context.Background(),
+					func() (*Model, error) { return m, nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					k := keys[i&63]
+					i++
+					if _, err := getOrBuild(&c, shiftedMap, k, k.hash(), context.Background(), nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkOnlineMultiTenant measures the sharded serving engine end to
+// end: K tenants placed by consistent hashing over engine shards, half
+// bound to a second registry, fresh-batch arrivals (the steady-state
+// path). shards=1 is the unsharded baseline the scale-out acceptance bar
+// compares against; shards=0 runs one shard per core. arrivals/sec is the
+// metric CI persists in BENCH_scaleout.json.
+func BenchmarkOnlineMultiTenant(b *testing.B) {
+	m := benchModel(b)
+	const n = 30
+	for _, streams := range []int{64, 256} {
+		for _, shards := range []int{1, 0} {
+			name := fmt.Sprintf("streams=%d/shards=percore", streams)
+			if shards == 1 {
+				name = fmt.Sprintf("streams=%d/shards=1", streams)
+			}
+			b.Run(name, func(b *testing.B) {
+				opts := DefaultOnlineOptions()
+				opts.Shards = shards
+				o := NewOnlineScheduler(m, opts)
+				if _, err := o.AddRegistry("premium", m); err != nil {
+					b.Fatal(err)
+				}
+				tenants := scaleTenants(m.Env().Templates, streams, n, 7*time.Minute, 17, "premium")
+				if _, err := o.RunTenants(context.Background(), tenants); err != nil {
+					b.Fatal(err) // warm shard pools before measuring
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := o.RunTenants(context.Background(), tenants); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if b.N > 0 {
+					perSec := float64(b.N*streams*n) / b.Elapsed().Seconds()
+					b.ReportMetric(perSec, "arrivals/sec")
+				}
+			})
+		}
+	}
+}

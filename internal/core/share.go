@@ -1,0 +1,177 @@
+// Cross-registry retrain sharing: when one engine hosts several model
+// registries (one per SLA goal / tenant tier), independent drift detectors
+// can converge on the same retrain — same goal, same training
+// configuration, same observed mix. The searches are deterministic, so the
+// second registry would burn an identical training search to reproduce a
+// model that already exists. retrainShare memoizes retrain builds across an
+// engine's registries: the first registry builds, later identical requests
+// reuse the model (models are immutable and safe for concurrent serving),
+// and ScaleStats.SharedRetrains counts the searches saved.
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"wisedb/internal/schedule"
+	"wisedb/internal/sla"
+)
+
+// shareLimit bounds the completed-build memo. Entries are only a pointer to
+// an already-live model, so the bound is about map hygiene on very
+// long-lived engines, not memory pressure; in-flight builds are never
+// evicted.
+const shareLimit = 128
+
+// shareEntry is one memoized retrain build. done is closed once m/err are
+// in place; concurrent identical requests wait on it (the same
+// build-once discipline as the ω-map's modelEntry). The witness fields
+// record exactly the inputs that determine a drift retrain's output — a
+// hash hit must also match the witness before the build may be shared,
+// because silently serving tier A's model to tier B on a hash collision
+// would be unsound. Collisions fall back to an unshared build instead.
+type shareEntry struct {
+	env  *schedule.Env
+	goal sla.Goal
+	cfg  TrainConfig
+	mix  []float64
+
+	done chan struct{}
+	m    *Model
+	err  error
+}
+
+// matches reports whether a retrain for (cur, mix) would rebuild exactly
+// this entry's model. Runs on the retrain path (seconds of training behind
+// it), so reflect.DeepEqual's cost is irrelevant.
+func (e *shareEntry) matches(cur *ModelEpoch, mix []float64) bool {
+	m := cur.Model
+	return e.env == m.env &&
+		slices.Equal(e.mix, mix) &&
+		reflect.DeepEqual(e.cfg, shareCfg(m.TrainingConfig)) &&
+		reflect.DeepEqual(e.goal, m.Goal)
+}
+
+// shareCfg normalizes a training config down to the fields that influence a
+// drift retrain's output: DriftRetrain overwrites SampleWeights with the
+// target mix and forces KeepTrainingData on, Parallelism never changes
+// results (training is bit-identical at any worker count), and the search
+// cache never changes solution costs.
+func shareCfg(cfg TrainConfig) TrainConfig {
+	cfg.SampleWeights = nil
+	cfg.KeepTrainingData = true
+	cfg.Parallelism = 0
+	cfg.DisableSearchCache = false
+	return cfg
+}
+
+// shareKey hashes the retrain inputs for the memo lookup. It is only an
+// accelerator: collisions are resolved by shareEntry.matches, never by
+// trust.
+func shareKey(cur *ModelEpoch, mix []float64) uint64 {
+	m := cur.Model
+	h := uint64(14695981039346656037)
+	key := m.Goal.Key()
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	cfg := m.TrainingConfig
+	h = mix64(h ^ uint64(cfg.NumSamples)<<32 ^ uint64(cfg.SampleSize))
+	h = mix64(h ^ uint64(cfg.Seed))
+	h = mix64(h ^ uint64(cfg.MaxExpansions)<<16 ^ uint64(cfg.Tree.MinLeaf)<<8 ^ uint64(cfg.Tree.MaxDepth))
+	h = mix64(h ^ math.Float64bits(cfg.Tree.PruneConfidence))
+	if cfg.Tree.Prune {
+		h = mix64(h ^ 1)
+	}
+	for _, w := range mix {
+		h = mix64(h ^ math.Float64bits(w))
+	}
+	return h
+}
+
+// retrainShare memoizes drift-retrain builds across an engine's registries.
+// The engine wraps every attached registry's RetrainFunc through retrain.
+type retrainShare struct {
+	mu      sync.Mutex
+	entries map[uint64]*shareEntry
+	shared  atomic.Int64
+}
+
+func (s *retrainShare) init() { s.entries = make(map[uint64]*shareEntry) }
+
+// retrain returns the memoized model for (cur, mix) or builds it with inner
+// at most once across concurrent identical requests. Failures (including
+// one registry's context cancellation) are never memoized: the failing
+// entry removes itself and waiters retry, becoming the builder themselves.
+// The lock is held only around map probes, never across a training search.
+func (s *retrainShare) retrain(ctx context.Context, cur *ModelEpoch, mix []float64, inner RetrainFunc) (*Model, error) {
+	key := shareKey(cur, mix)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		e, ok := s.entries[key]
+		if ok && !e.matches(cur, mix) {
+			// Hash collision between two distinct retrain inputs: build
+			// unshared rather than evict the resident entry.
+			s.mu.Unlock()
+			return inner(ctx, cur, mix)
+		}
+		if !ok {
+			e = &shareEntry{
+				env:  cur.Model.env,
+				goal: cur.Model.Goal,
+				cfg:  shareCfg(cur.Model.TrainingConfig),
+				mix:  slices.Clone(mix),
+				done: make(chan struct{}),
+			}
+			if len(s.entries) >= shareLimit {
+				s.evictDoneLocked()
+			}
+			s.entries[key] = e
+			s.mu.Unlock()
+			e.m, e.err = inner(ctx, cur, mix)
+			if e.err != nil {
+				s.mu.Lock()
+				if cur, ok := s.entries[key]; ok && cur == e {
+					delete(s.entries, key)
+				}
+				s.mu.Unlock()
+			}
+			close(e.done)
+			return e.m, e.err
+		}
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err == nil {
+			s.shared.Add(1)
+			return e.m, nil
+		}
+		// The build we waited on failed and removed itself; retry.
+	}
+}
+
+// evictDoneLocked trims completed entries to keep the memo bounded.
+// In-flight builds are never evicted — a waiter holds their entry pointer.
+func (s *retrainShare) evictDoneLocked() {
+	for k, e := range s.entries {
+		select {
+		case <-e.done:
+			delete(s.entries, k)
+			if len(s.entries) < shareLimit {
+				return
+			}
+		default:
+		}
+	}
+}

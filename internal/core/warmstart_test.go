@@ -343,10 +343,7 @@ func TestRegistryWarmStartInstallsStoredEpoch(t *testing.T) {
 	if ep.Epoch != 1 {
 		t.Fatalf("warm start installed epoch %d, want 1", ep.Epoch)
 	}
-	eng.cache.mu.Lock()
-	cached := len(eng.cache.shifted) + len(eng.cache.augmented)
-	eng.cache.mu.Unlock()
-	if cached != 0 {
+	if cached := eng.cache.size(); cached != 0 {
 		t.Fatalf("warm start left %d superseded derived models cached", cached)
 	}
 }

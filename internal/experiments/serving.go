@@ -7,6 +7,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"wisedb/internal/core"
@@ -86,6 +87,95 @@ func (c *Config) ServeThroughput() (*Table, error) {
 // durUS renders nanoseconds as rounded microseconds.
 func durUS(ns float64) string {
 	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// ServeScaleOut measures the sharded scale-out engine: K tenant streams
+// placed onto engine shards by consistent hashing on tenant ID (one shard
+// per core, shard-local run queues and scratch, striped ω-map), swept from
+// 1 to 10k concurrent streams. Each row also runs the unsharded baseline —
+// one shard, single-stripe ω-map: the pre-scale-out engine — so the table
+// is the before/after evidence for the striped-cache + sharding work.
+// Arrival gaps exceed query latencies (steady-state fresh-batch path); the
+// per-stream arrival count shrinks as K grows so every row does the same
+// total work.
+func (c *Config) ServeScaleOut() (*Table, error) {
+	s := c.newSetup(c.pick(10, 5), 2)
+	goal := s.goal("Max").(sla.MaxLatency)
+	base, err := c.model(s.env, goal)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{1, 16, 64, 256, 1024, 10000}
+	if c.Quick {
+		counts = []int{1, 16, 64, 256, 1000}
+	}
+	totalArrivals := c.pick(40000, 8000)
+	maxPerStream := c.pick(200, 40)
+
+	t := &Table{
+		Title:  fmt.Sprintf("Scale-out: K tenant streams, consistent-hash placement over %d shards (striped ω-map)", runtime.GOMAXPROCS(0)),
+		Header: []string{"streams", "arrivals", "sharded arr/s", "speedup", "unsharded arr/s", "sharded/unsharded"},
+	}
+	run := func(tenants []core.Tenant, shards, cacheShards int) (float64, error) {
+		opts := core.DefaultOnlineOptions()
+		opts.Shards = shards
+		opts.CacheShards = cacheShards
+		o := core.NewOnlineScheduler(base, opts)
+		if _, err := o.RunTenants(context.Background(), tenants); err != nil {
+			return 0, err // warm shard pools and scratch
+		}
+		start := time.Now()
+		results, err := o.RunTenants(context.Background(), tenants)
+		if err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		arrivals := 0
+		for _, res := range results {
+			arrivals += len(res.Outcomes)
+		}
+		return float64(arrivals) / elapsed.Seconds(), nil
+	}
+	baseline := 0.0
+	for _, k := range counts {
+		n := totalArrivals / k
+		if n > maxPerStream {
+			n = maxPerStream
+		}
+		if n < 4 {
+			n = 4
+		}
+		ws := make([]*workload.Workload, k)
+		for i := range ws {
+			w := workload.NewSampler(s.env.Templates, c.Seed+int64(i)*101).Uniform(n)
+			ws[i] = w.WithArrivals(workload.FixedDelayArrivals(n, 7*time.Minute))
+		}
+		tenants := make([]core.Tenant, k)
+		for i := range tenants {
+			tenants[i] = core.Tenant{ID: core.HashTenantID(fmt.Sprintf("tenant-%05d", i)), Workload: ws[i]}
+		}
+		sharded, err := run(tenants, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		unsharded, err := run(tenants, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		if k == 1 {
+			baseline = sharded
+		}
+		t.AddRow(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", k*n),
+			fmt.Sprintf("%.0f", sharded),
+			fmt.Sprintf("%.2fx", sharded/baseline),
+			fmt.Sprintf("%.0f", unsharded),
+			fmt.Sprintf("%.2fx", sharded/unsharded))
+	}
+	t.Note("sharded = one shard per core + %d ω-map stripes; unsharded = 1 shard + single-lock ω-map (the pre-scale-out engine)", core.DefaultCacheShards)
+	t.Note("fixed-seed tenants; speedup column is vs. this run's own 1-stream row; see EXPERIMENTS.md for the recorded runner")
+	t.Fprint(c.Out)
+	return t, nil
 }
 
 // ServeRecovery injects a template-mix shift into tenant streams and

@@ -92,6 +92,14 @@ type (
 	RegistryStats = core.RegistryStats
 	// RetrainFunc builds a replacement model for an observed arrival mix.
 	RetrainFunc = core.RetrainFunc
+	// Tenant is one tenant stream for sharded serving (RunTenants):
+	// identity, registry tier, and arrival stream.
+	Tenant = core.Tenant
+	// TenantID places a tenant on the engine's consistent-hash ring.
+	TenantID = core.TenantID
+	// ScaleStats snapshots the engine's scale-out counters (shards,
+	// migrations, registries, shared retrains, ω-map size).
+	ScaleStats = core.ScaleStats
 )
 
 // Durable model persistence types.
@@ -199,6 +207,8 @@ var (
 	// DriftRetrain is the default drift response: re-train toward the
 	// observed arrival mix at the base model's scale.
 	DriftRetrain = core.DriftRetrain
+	// HashTenantID derives a well-spread TenantID from a tenant name.
+	HashTenantID = core.HashTenantID
 
 	// SaveModel atomically writes a model's versioned binary encoding;
 	// LoadModel reads one back, serving-ready with zero training
