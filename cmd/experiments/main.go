@@ -111,6 +111,7 @@ func run() int {
 		"serve":    wrap(cfg.ServeThroughput),
 		"recovery": wrap(cfg.ServeRecovery),
 		"scaleout": wrap(cfg.ServeScaleOut),
+		"chaos":    wrap(cfg.Chaos),
 	}
 
 	args := flag.Args()
@@ -175,5 +176,6 @@ Serving-at-scale experiments (beyond the paper):
   serve     multi-tenant serving throughput (K streams, p50/p99, SLA violations)
   recovery  injected mix shift: drift detection via EMD + model hot-swap recovery
   scaleout  sharded engine: 1 -> 10k tenant streams, sharded vs unsharded arrivals/sec
+  chaos     fault injection: VM failures, breaker-tripping retrains, degraded fallback
 `)
 }

@@ -28,6 +28,16 @@
 // -streams 10000 -queries 4` is the 10k-stream load-generator mode; the
 // summary reports migrations, shared retrains, and ω-map build counts.
 //
+// serve can also run under chaos: -chaos-seed arms deterministic fault
+// injection (-vm-failure-rate kills rented VMs mid-stream, -fail-retrains
+// fails the first K drift retrains, -flaky-checkpoints makes checkpoint
+// writes transiently fail), -degrade enables graceful fallback to
+// first-fit heuristic scheduling when the epoch model is unusable, and
+// -max-backlog sheds new arrivals admission-control style while degraded.
+// The summary then adds the failure-path counters: retrain backoff and
+// circuit-breaker state, checkpoint retries, degraded/shed arrivals, and
+// queries re-admitted after VM failures.
+//
 // Model persistence: `wisedb train -o m.wsdb && wisedb serve -model m.wsdb`
 // serves with zero training searches at startup. With -store DIR the
 // server warm-starts from the newest checkpointed epoch in DIR (training
@@ -75,6 +85,12 @@ func main() {
 	modelPath := flag.String("model", "", "load a persisted model instead of training")
 	storeDir := flag.String("store", "", "serve: durable model store directory (warm start + checkpoints)")
 	checkpoint := flag.Bool("checkpoint", true, "serve: checkpoint hot-swapped epochs into -store")
+	chaosSeed := flag.Int64("chaos-seed", 0, "serve: arm deterministic fault injection with this seed (0 = off)")
+	vmFailureRate := flag.Float64("vm-failure-rate", 0.3, "serve: probability each rented VM fails mid-stream (with -chaos-seed)")
+	failRetrains := flag.Int("fail-retrains", 0, "serve: fail the first K drift retrains per registry (with -chaos-seed)")
+	flakyCheckpoints := flag.Int("flaky-checkpoints", 0, "serve: fail the first K checkpoint writes transiently (with -chaos-seed)")
+	degrade := flag.Bool("degrade", false, "serve: fall back to heuristic scheduling when the epoch model is unusable")
+	maxBacklog := flag.Int("max-backlog", 0, "serve: shed new arrivals above this backlog while degraded (0 = never shed)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -196,6 +212,8 @@ func main() {
 		opts := wisedb.DefaultOnlineOptions()
 		opts.Drift = wisedb.DriftOptions{Window: *driftWindow}
 		opts.Shards = *shards
+		opts.Degrade = *degrade
+		opts.MaxBacklog = *maxBacklog
 		engine, ms := buildServeEngine(opts, getModel, *modelPath, *storeDir, *checkpoint)
 		base := engine.Registry().Current().Model
 		// Tenant tiers: registry 0 is the engine's default; each extra one
@@ -208,12 +226,41 @@ func main() {
 			}
 			regNames = append(regNames, name)
 		}
+		var spec wisedb.ChaosSpec
+		if *chaosSeed != 0 {
+			spec = wisedb.ChaosSpec{
+				Seed: *chaosSeed,
+				VM: wisedb.FaultSpec{
+					VMFailureRate: *vmFailureRate,
+					VMMinLifetime: time.Minute,
+					// Failures must land inside the stream's span to matter.
+					VMMaxLifetime: time.Duration(*queries) * *delay,
+				},
+				RetrainFailures:             *failRetrains,
+				CheckpointTransientFailures: *flakyCheckpoints,
+			}
+			for _, name := range regNames {
+				r := engine.Registry()
+				if name != "" {
+					r = engine.RegistryNamed(name)
+				}
+				if *failRetrains > 0 {
+					r.SetRetrain(spec.Retrain(wisedb.DriftRetrain))
+				}
+			}
+			if ms != nil && *flakyCheckpoints > 0 {
+				ms.SetPayloadWriter(spec.PayloadWriter())
+			}
+			fmt.Fprintf(os.Stderr, "chaos armed: seed %d, VM failure rate %.2f, failing first %d retrains, %d flaky checkpoint writes\n",
+				*chaosSeed, *vmFailureRate, *failRetrains, *flakyCheckpoints)
+		}
 		// Generate load against the serving model's own template set: a
 		// loaded or warm-started model defines its environment.
 		serve(engine, base.Env().Templates, serveConfig{
 			streams: *streams, queries: *queries, delay: *delay, seed: *seed,
 			skew: *skew, shiftAt: *shiftAt,
 			registries: regNames,
+			chaos:      spec,
 		})
 		if ms != nil {
 			if latest, ok := ms.LatestEpoch(); ok {
@@ -268,7 +315,8 @@ type serveConfig struct {
 	delay            time.Duration
 	seed             int64
 	skew, shiftAt    float64
-	registries       []string // tier names; "" is the default registry
+	registries       []string         // tier names; "" is the default registry
+	chaos            wisedb.ChaosSpec // zero value injects nothing
 }
 
 // serve drives K tenant streams through one serving engine at full speed
@@ -304,6 +352,7 @@ func serve(engine *wisedb.OnlineScheduler, templates []wisedb.Template, cfg serv
 			ID:       wisedb.HashTenantID(fmt.Sprintf("tenant-%05d", i)),
 			Registry: cfg.registries[i%len(cfg.registries)],
 			Workload: w.WithArrivals(arrivals),
+			Faults:   cfg.chaos.VMPlan(i), // nil unless chaos is armed
 		}
 	}
 
@@ -327,13 +376,15 @@ func serve(engine *wisedb.OnlineScheduler, templates []wisedb.Template, cfg serv
 	totalArrivals, rented := 0, 0
 	cost := 0.0
 	var advisor []time.Duration
-	var driftTriggers int
+	var driftTriggers, driftSuppressed, readmitted int
 	for _, res := range results {
 		totalArrivals += len(res.PerArrival)
 		rented += res.VMsRented
 		cost += res.Cost
 		advisor = append(advisor, res.PerArrival...)
 		driftTriggers += res.DriftTriggers
+		driftSuppressed += res.DriftSuppressed
+		readmitted += res.FaultReadmissions
 	}
 	sort.Slice(advisor, func(i, j int) bool { return advisor[i] < advisor[j] })
 	pct := func(p float64) time.Duration {
@@ -360,6 +411,7 @@ func serve(engine *wisedb.OnlineScheduler, templates []wisedb.Template, cfg serv
 		s := registryOf(name).Stats()
 		stats.Triggers += s.Triggers
 		stats.Swaps += s.Swaps
+		stats.Failures += s.Failures
 		stats.Checkpoints += s.Checkpoints
 		stats.CheckpointFailures += s.CheckpointFailures
 		if s.Epoch > stats.Epoch {
@@ -376,6 +428,24 @@ func serve(engine *wisedb.OnlineScheduler, templates []wisedb.Template, cfg serv
 		driftTriggers, stats.Triggers, stats.Swaps, stats.Epoch)
 	if stats.Checkpoints > 0 || stats.CheckpointFailures > 0 {
 		fmt.Printf("checkpoints: %d committed, %d failed\n", stats.Checkpoints, stats.CheckpointFailures)
+	}
+	// Failure-path counters: silent unless something actually degraded,
+	// shed, retried, or tripped — a healthy run's summary stays unchanged.
+	// stats.Failures is the authoritative retrain-failure count: streams only
+	// tally DriftFailures for synchronous retrains, while the registry counts
+	// background failures too.
+	rb := scale.Robustness
+	if stats.Failures > 0 || driftSuppressed > 0 || rb.BackoffSuppressed > 0 || rb.BreakerOpens > 0 || rb.Breaker != "closed" {
+		fmt.Printf("retrain failures: %d failed, %d suppressed (backoff %d, breaker rejected %d); breaker %s (%d opens, %d closes)\n",
+			stats.Failures, driftSuppressed, rb.BackoffSuppressed, rb.BreakerRejected,
+			rb.Breaker, rb.BreakerOpens, rb.BreakerCloses)
+	}
+	if rb.CheckpointRetries > 0 {
+		fmt.Printf("checkpoint retries: %d\n", rb.CheckpointRetries)
+	}
+	if scale.DegradedArrivals > 0 || scale.DegradedPlacements > 0 || scale.ShedArrivals > 0 || readmitted > 0 {
+		fmt.Printf("degradation: %d degraded arrivals, %d rerouted placements, %d shed arrivals, %d queries re-admitted after VM failures\n",
+			scale.DegradedArrivals, scale.DegradedPlacements, scale.ShedArrivals, readmitted)
 	}
 	if stats.LastErr != nil {
 		fmt.Printf("last retrain error: %v\n", stats.LastErr)
@@ -451,6 +521,9 @@ func inspectStore(dir string) {
 	}
 	entries := ms.Entries()
 	fmt.Printf("%s: model store, %d epochs\n", dir, len(entries))
+	if q := ms.Quarantined(); len(q) > 0 {
+		fmt.Printf("quarantined: %d corrupt file(s) set aside: %s\n", len(q), strings.Join(q, ", "))
+	}
 	if len(entries) == 0 {
 		return
 	}

@@ -1,0 +1,94 @@
+// Package chaos is the fault-injection harness over the serving stack: one
+// Spec describes a whole chaos scenario — VM failures and stragglers in the
+// cloud simulator, transient retrain failures in the model registry, flaky
+// payload writes in the model store — and hands out the deterministic
+// injectors each layer accepts. Everything is seeded: the same Spec and seed
+// produce the same faults at the same points, so a chaos run is a
+// reproducible test case, not a flake generator.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"wisedb/internal/cloud"
+	"wisedb/internal/core"
+	"wisedb/internal/store"
+)
+
+// ErrInjected marks every fault this package injects, so tests and failure
+// accounting can tell injected faults from real ones with errors.Is.
+var ErrInjected = fmt.Errorf("chaos: injected fault")
+
+// Spec describes one chaos scenario across the serving stack's failure
+// domains. The zero value injects nothing.
+type Spec struct {
+	// Seed drives every deterministic draw derived from this Spec.
+	Seed int64
+	// VM configures VM failures and stragglers in the cloud simulator.
+	VM cloud.FaultSpec
+	// RetrainFailures fails the first N retrain attempts (N >= the
+	// registry's breaker threshold trips the breaker).
+	RetrainFailures int
+	// CheckpointTransientFailures fails the first N model-store payload
+	// writes, exercising the registry's bounded checkpoint retry.
+	CheckpointTransientFailures int
+}
+
+// VMPlan returns the deterministic VM fault plan for one stream. Streams are
+// sub-seeded from Spec.Seed by index, so a multi-tenant chaos run gives each
+// tenant an independent — but still reproducible — failure sequence.
+func (s Spec) VMPlan(stream int) *cloud.FaultPlan {
+	if !s.VM.Enabled() {
+		return nil
+	}
+	// SplitMix64-style sub-seeding: adjacent stream indices land far apart.
+	sub := uint64(s.Seed) + uint64(stream+1)*0x9e3779b97f4a7c15
+	sub ^= sub >> 30
+	sub *= 0xbf58476d1ce4e5b9
+	return cloud.NewFaultPlan(int64(sub), s.VM)
+}
+
+// Retrain wraps a RetrainFunc so its first Spec.RetrainFailures calls fail
+// with ErrInjected and every later call delegates to inner. The counter is
+// shared across concurrent retrains (single-flight or not), so exactly N
+// attempts fail no matter how they interleave.
+func (s Spec) Retrain(inner core.RetrainFunc) core.RetrainFunc {
+	var calls atomic.Int64
+	n := int64(s.RetrainFailures)
+	return func(ctx context.Context, cur *core.ModelEpoch, mix []float64) (*core.Model, error) {
+		if calls.Add(1) <= n {
+			return nil, fmt.Errorf("%w: retrain attempt %d of %d failing", ErrInjected, calls.Load(), n)
+		}
+		return inner(ctx, cur, mix)
+	}
+}
+
+// PayloadWriter returns a store payload writer whose first
+// Spec.CheckpointTransientFailures calls fail with ErrInjected, after which
+// it delegates to the store's atomic write. Install with
+// ModelStore.SetPayloadWriter to exercise the checkpoint retry path.
+func (s Spec) PayloadWriter() func(path string, data []byte) error {
+	var calls atomic.Int64
+	n := int64(s.CheckpointTransientFailures)
+	return func(path string, data []byte) error {
+		if calls.Add(1) <= n {
+			return fmt.Errorf("%w: transient write fault %d of %d", ErrInjected, calls.Load(), n)
+		}
+		return store.WriteFileAtomic(path, data)
+	}
+}
+
+// FailFirstRetrains wraps inner so its first k calls fail with ErrInjected.
+// Concurrency-safe; standalone form of Spec.Retrain for tests that inject a
+// retrain fault without a full Spec.
+func FailFirstRetrains(k int, inner core.RetrainFunc) core.RetrainFunc {
+	return Spec{RetrainFailures: k}.Retrain(inner)
+}
+
+// FlakyPayloadWriter fails the first k payload writes with ErrInjected, then
+// writes atomically. Standalone form of Spec.PayloadWriter.
+func FlakyPayloadWriter(k int) func(path string, data []byte) error {
+	return Spec{CheckpointTransientFailures: k}.PayloadWriter()
+}

@@ -223,3 +223,119 @@ func TestSimRunsOrderedByCompletion(t *testing.T) {
 		t.Fatalf("runs must be ordered by completion: %v", runs)
 	}
 }
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	spec := FaultSpec{
+		VMFailureRate: 0.5, VMMinLifetime: time.Minute, VMMaxLifetime: 10 * time.Minute,
+		StragglerRate: 0.3, StragglerSlowdown: 3,
+	}
+	a, b := NewFaultPlan(42, spec), NewFaultPlan(42, spec)
+	anyFail, anySlow := false, false
+	for i := 0; i < 200; i++ {
+		fa, sa := a.draw(i)
+		fb, sb := b.draw(i)
+		if fa != fb || sa != sb {
+			t.Fatalf("draw %d diverged: (%s,%g) vs (%s,%g)", i, fa, sa, fb, sb)
+		}
+		if fa > 0 {
+			anyFail = true
+			if fa < spec.VMMinLifetime || fa > spec.VMMaxLifetime {
+				t.Fatalf("draw %d lifetime %s outside [%s,%s]", i, fa, spec.VMMinLifetime, spec.VMMaxLifetime)
+			}
+		}
+		if sa > 0 {
+			anySlow = true
+			if sa != 3 {
+				t.Fatalf("draw %d slowdown %g, want 3", i, sa)
+			}
+		}
+	}
+	if !anyFail || !anySlow {
+		t.Fatalf("200 draws at 50%%/30%% rates produced anyFail=%v anySlow=%v", anyFail, anySlow)
+	}
+	other := NewFaultPlan(43, spec)
+	same := true
+	for i := 0; i < 200 && same; i++ {
+		fa, sa := a.draw(i)
+		fo, so := other.draw(i)
+		same = fa == fo && sa == so
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestVMFailureRevokesAndKillsInProgress(t *testing.T) {
+	vt := DefaultVMTypes(1)[0]
+	vt.StartupDelay = 0
+	s := NewSim()
+	s.SetFaults(nil) // disarmed plan must be a no-op
+	vm := s.Rent(vt, 0)
+	vm.failAt = 5 * time.Minute // dooms the VM directly; plans only set this field
+
+	// Three queries: the first completes before the failure, the second is
+	// mid-flight at the instant, the third never starts.
+	vm.Enqueue(1, 0, 0, 2*time.Minute)           // runs [0, 2m)
+	vm.Enqueue(2, 0, time.Minute, 4*time.Minute) // runs [2m, 6m) — killed at 5m
+	vm.Enqueue(3, 0, 2*time.Minute, time.Minute) // queued behind — revoked
+
+	if got := vm.CollectFailed(4*time.Minute, nil); len(got) != 0 {
+		t.Fatalf("collect before the failure instant returned %v", got)
+	}
+	got := vm.CollectFailed(6*time.Minute, nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("want tags [2 3] re-admitted, got %v", got)
+	}
+	if !vm.Failed() {
+		t.Fatal("VM must be marked failed")
+	}
+	if again := vm.CollectFailed(7*time.Minute, nil); len(again) != 0 {
+		t.Fatalf("second collect must be empty (exactly-once), got %v", again)
+	}
+	runs := s.Finish()
+	if len(runs) != 1 || runs[0].Tag != 1 {
+		t.Fatalf("only the completed run survives, got %v", runs)
+	}
+	if s.FailedVMs() != 1 {
+		t.Fatalf("FailedVMs = %d, want 1", s.FailedVMs())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue on a failed VM must panic")
+		}
+	}()
+	vm.Enqueue(4, 0, 7*time.Minute, time.Minute)
+}
+
+func TestStragglerStretchesLatency(t *testing.T) {
+	vt := DefaultVMTypes(1)[0]
+	vt.StartupDelay = 0
+	s := NewSim()
+	vm := s.Rent(vt, 0)
+	vm.slow = 2.5
+	vm.Enqueue(1, 0, 0, 2*time.Minute)
+	runs := s.Finish()
+	if want := 5 * time.Minute; runs[0].End != want {
+		t.Fatalf("straggler run end %s, want %s", runs[0].End, want)
+	}
+	if vm.Straggler() != 2.5 {
+		t.Fatalf("Straggler() = %g", vm.Straggler())
+	}
+}
+
+func TestSimRentDrawsFromPlan(t *testing.T) {
+	spec := FaultSpec{VMFailureRate: 1, VMMinLifetime: time.Minute, VMMaxLifetime: time.Minute}
+	s := NewSim()
+	s.SetFaults(NewFaultPlan(7, spec))
+	vm := s.Rent(DefaultVMTypes(1)[0], 10*time.Minute)
+	at, doomed := vm.FailsAt()
+	if !doomed || at != 11*time.Minute {
+		t.Fatalf("FailsAt = (%s, %v), want (11m, true)", at, doomed)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetFaults after Rent must panic")
+		}
+	}()
+	s.SetFaults(nil)
+}

@@ -1,0 +1,144 @@
+package cloud
+
+import "time"
+
+// FaultSpec describes the fault mix a simulator injects. The zero value
+// injects nothing.
+type FaultSpec struct {
+	// VMFailureRate is the probability that a rented VM fails at some point
+	// during the simulation. A failed VM stops accepting work, keeps the
+	// runs it completed before the failure instant, and loses the run that
+	// was in progress plus its unstarted queue (CollectFailed reports the
+	// affected tags so the caller can re-admit them).
+	VMFailureRate float64
+	// VMMinLifetime and VMMaxLifetime bound how long a doomed VM lives
+	// after it is rented. The exact lifetime is drawn uniformly between
+	// them from the plan's seed.
+	VMMinLifetime, VMMaxLifetime time.Duration
+	// StragglerRate is the probability that a rented VM is a straggler:
+	// every query enqueued on it takes StragglerSlowdown times its true
+	// latency. A VM can be both a straggler and doomed to fail.
+	StragglerRate float64
+	// StragglerSlowdown multiplies execution latency on straggler VMs.
+	// Values <= 1 disable straggling even when StragglerRate draws hit.
+	StragglerSlowdown float64
+}
+
+// Enabled reports whether the spec can inject anything at all.
+func (f FaultSpec) Enabled() bool {
+	return (f.VMFailureRate > 0 && f.VMMaxLifetime > 0) ||
+		(f.StragglerRate > 0 && f.StragglerSlowdown > 1)
+}
+
+// FaultPlan is a deterministic schedule of VM faults. Every draw is keyed by
+// the VM's rent index (the n-th Rent call on the owning Sim), not by a
+// sequential RNG, so two simulations that rent VMs in the same order see
+// bit-identical faults regardless of what else they interleave. Plans are
+// cheap; build one per Sim.
+type FaultPlan struct {
+	seed uint64
+	spec FaultSpec
+}
+
+// NewFaultPlan returns a plan drawing from seed. A nil plan (or one built
+// from a zero FaultSpec) injects nothing.
+func NewFaultPlan(seed int64, spec FaultSpec) *FaultPlan {
+	return &FaultPlan{seed: uint64(seed), spec: spec}
+}
+
+// splitmix64 is the SplitMix64 finalizer; it turns a structured key into a
+// well-mixed 64-bit value. Same construction as the core package's mix64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// draw returns the fault assignment for the VM rented at rentIndex:
+// failAfter > 0 means the VM dies that long after being rented; slow > 1
+// means every enqueued query is stretched by that factor.
+func (p *FaultPlan) draw(rentIndex int) (failAfter time.Duration, slow float64) {
+	if p == nil || !p.spec.Enabled() {
+		return 0, 0
+	}
+	base := splitmix64(p.seed ^ uint64(rentIndex)*0x9e3779b97f4a7c15)
+	if p.spec.VMFailureRate > 0 && p.spec.VMMaxLifetime > 0 && unit(base) < p.spec.VMFailureRate {
+		lo, hi := p.spec.VMMinLifetime, p.spec.VMMaxLifetime
+		if lo < 0 {
+			lo = 0
+		}
+		if hi < lo {
+			hi = lo
+		}
+		failAfter = lo + time.Duration(unit(splitmix64(base^0xd6e8feb86659fd93))*float64(hi-lo))
+		if failAfter <= 0 {
+			failAfter = 1 // "fails instantly" still needs a positive instant
+		}
+	}
+	if p.spec.StragglerRate > 0 && p.spec.StragglerSlowdown > 1 &&
+		unit(splitmix64(base^0xa5a5a5a5a5a5a5a5)) < p.spec.StragglerRate {
+		slow = p.spec.StragglerSlowdown
+	}
+	return failAfter, slow
+}
+
+// SetFaults arms the simulator with a fault plan. Must be called before any
+// Rent; passing nil disarms. VMs rented while armed receive their fate
+// (failure instant, straggler slowdown) from the plan at rent time.
+func (s *Sim) SetFaults(p *FaultPlan) {
+	if len(s.vms) > 0 {
+		panic("cloud: SetFaults after Rent")
+	}
+	s.faults = p
+}
+
+// Failed reports whether the VM has failed (CollectFailed observed its
+// failure instant pass).
+func (vm *SimVM) Failed() bool { return vm.failed }
+
+// FailsAt returns the VM's scheduled failure instant and whether it is
+// doomed at all.
+func (vm *SimVM) FailsAt() (time.Duration, bool) { return vm.failAt, vm.failAt > 0 }
+
+// Straggler returns the VM's latency multiplier (0 when healthy).
+func (vm *SimVM) Straggler() float64 { return vm.slow }
+
+// CollectFailed realises a doomed VM's failure once its instant has passed:
+// work that started strictly before the failure is kept, the run in progress
+// at the instant is killed, and the unstarted queue is dropped. The tags of
+// the killed run and the dropped queue are appended to buf exactly once so
+// the caller can re-admit them. Healthy VMs (and already-collected failures)
+// return buf untouched — the check is one comparison, keeping the per-arrival
+// sweep free when injection is off.
+func (vm *SimVM) CollectFailed(t time.Duration, buf []int) []int {
+	if vm.failed || vm.failAt == 0 || vm.failAt > t {
+		return buf
+	}
+	vm.materialize(vm.failAt)
+	vm.failed = true
+	if n := len(vm.runs); n > 0 && vm.runs[n-1].End > vm.failAt {
+		// This run was mid-flight at the failure instant: its work is lost.
+		buf = append(buf, vm.runs[n-1].Tag)
+		vm.runs = vm.runs[:n-1]
+	}
+	for _, q := range vm.queue {
+		buf = append(buf, q.tag)
+	}
+	vm.queue = vm.queue[:0]
+	return buf
+}
+
+// FailedVMs returns how many rented VMs have failed so far.
+func (s *Sim) FailedVMs() int {
+	n := 0
+	for _, vm := range s.vms {
+		if vm.failed {
+			n++
+		}
+	}
+	return n
+}

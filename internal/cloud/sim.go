@@ -14,7 +14,9 @@ import (
 //
 // Sim is not safe for concurrent use.
 type Sim struct {
-	vms []*SimVM
+	vms    []*SimVM
+	faults *FaultPlan
+	rents  int
 }
 
 // NewSim returns an empty simulator.
@@ -49,11 +51,27 @@ type SimVM struct {
 	ReadyAt time.Duration
 	runs    []Run
 	queue   []queued
+
+	// Fault-injection state (see faults.go). failAt is the scheduled
+	// failure instant (0 = never), failed flips when CollectFailed observes
+	// it pass, slow stretches enqueued latencies (0 = healthy).
+	failAt time.Duration
+	failed bool
+	slow   float64
 }
 
 // Rent provisions a new VM of type vt at simulation time at and returns it.
+// If the simulator carries a fault plan, the VM's fate is drawn here, keyed
+// by its rent index, so identical rent sequences see identical faults.
 func (s *Sim) Rent(vt VMType, at time.Duration) *SimVM {
 	vm := &SimVM{Type: vt, RentedAt: at, ReadyAt: at + vt.StartupDelay}
+	if failAfter, slow := s.faults.draw(s.rents); failAfter > 0 || slow > 0 {
+		if failAfter > 0 {
+			vm.failAt = at + failAfter
+		}
+		vm.slow = slow
+	}
+	s.rents++
 	s.vms = append(s.vms, vm)
 	return vm
 }
@@ -72,6 +90,12 @@ func (vm *SimVM) Enqueue(tag, templateID int, at, latency time.Duration) {
 	}
 	if n := len(vm.queue); n > 0 && at < vm.queue[n-1].at {
 		panic(fmt.Sprintf("cloud: Enqueue at %s after an enqueue at %s (tag %d)", at, vm.queue[n-1].at, tag))
+	}
+	if vm.failed {
+		panic(fmt.Sprintf("cloud: Enqueue on failed VM (tag %d)", tag))
+	}
+	if vm.slow > 1 {
+		latency = time.Duration(float64(latency) * vm.slow)
 	}
 	vm.queue = append(vm.queue, queued{tag: tag, templateID: templateID, at: at, latency: latency})
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wisedb/internal/cloud"
+	"wisedb/internal/heuristics"
 	"wisedb/internal/schedule"
 	"wisedb/internal/sla"
 	"wisedb/internal/store"
@@ -56,6 +57,26 @@ type OnlineOptions struct {
 	// can be migrated between shards live (Rebalance) without dropping
 	// or doubling in-flight arrivals.
 	Shards int
+	// Retry is the failure discipline applied to every registry the
+	// engine hosts: retrain backoff + circuit breaker (measured in
+	// drift-trigger attempts, so it stays deterministic under SimClock)
+	// and bounded checkpoint retry. Zero fields take defaults; negative
+	// fields disable. See RetryPolicy.
+	Retry RetryPolicy
+	// Degrade enables graceful degradation: an arrival whose model
+	// acquisition or placement fails is scheduled by the first-fit
+	// heuristic on the engine's fallback VM type instead of failing the
+	// stream. Degraded mode is sticky per epoch — once a stream degrades
+	// it stays on the heuristic until a new epoch installs (context
+	// cancellation still aborts). Off by default: replay and analysis
+	// callers usually want model-path errors surfaced, not absorbed.
+	Degrade bool
+	// MaxBacklog sheds load admission-control-style while degraded: when
+	// an arrival event's batch (re-admitted backlog + new arrivals)
+	// exceeds MaxBacklog, newly arrived queries beyond the bound are
+	// dropped (never re-admitted work — a query admitted once completes
+	// exactly once). 0 disables shedding. Only active in degraded mode.
+	MaxBacklog int
 }
 
 // DefaultOnlineOptions enables both optimizations and re-trains augmented
@@ -99,6 +120,18 @@ type OnlineResult struct {
 	// shift-recovery experiment reads detection latency off it).
 	DriftTriggers        int
 	DriftTriggerArrivals []int
+	// DriftSuppressed counts drift triggers this stream's registry
+	// swallowed (backoff window or open breaker); DriftFailures counts
+	// synchronous retrains that failed while the stream kept serving its
+	// current epoch.
+	DriftSuppressed, DriftFailures int
+	// DegradedArrivals counts arrival events scheduled by the first-fit
+	// heuristic fallback; DegradedPlacements counts individual queries
+	// rerouted to the fallback VM type after an unservable placement;
+	// ShedArrivals counts newly arrived queries dropped by admission
+	// control while degraded. FaultReadmissions counts queries re-admitted
+	// to the batch after their VM failed (each re-admitted exactly once).
+	DegradedArrivals, DegradedPlacements, ShedArrivals, FaultReadmissions int
 	// Outcomes records every completed query — tag, arrival, and
 	// execution bounds — ordered by completion. Perf is its latency
 	// projection; Outcomes is what throughput and recovery analyses
@@ -170,6 +203,16 @@ type OnlineScheduler struct {
 	// triggering stream so other tenants benefit from the swap.
 	retrainCtx context.Context
 
+	// fallbackType is the lowest-indexed VM type that can run every
+	// template — the degraded path's placement target. −1 when no single
+	// type supports the full template set (degradation then cannot
+	// reroute and model-path errors surface as before).
+	fallbackType int
+
+	// Failure-path counters aggregated across streams (per-stream copies
+	// live in each OnlineResult).
+	degradedArrivals, degradedPlacements, shedArrivals atomic.Int64
+
 	// placeStarted, when non-nil, is invoked at the top of every place;
 	// tests use it to pin that simulator placement runs outside the timed
 	// advisor window (§6.3's overhead metric excludes execution).
@@ -197,6 +240,20 @@ func NewOnlineScheduler(base *Model, opts OnlineOptions) *OnlineScheduler {
 		goal:       base.Goal,
 		retrainCtx: context.Background(),
 	}
+	o.fallbackType = -1
+	for ti := range o.env.VMTypes {
+		supportsAll := true
+		for tpl := range o.env.Templates {
+			if _, ok := o.env.Latency(tpl, ti); !ok {
+				supportsAll = false
+				break
+			}
+		}
+		if supportsAll {
+			o.fallbackType = ti
+			break
+		}
+	}
 	o.cache.init(opts.CacheShards)
 	o.share.init()
 	o.initShards(opts.Shards)
@@ -215,6 +272,7 @@ func (o *OnlineScheduler) attachRegistry(name string, r *ModelRegistry) *ModelRe
 	}
 	id := uint32(len(o.regList))
 	r.id = id
+	r.SetRetryPolicy(o.opts.Retry)
 	// A hot swap retires every derived model of this registry's older
 	// epochs: their cache keys can never be requested again.
 	r.onSwap = func(e *ModelEpoch) { o.cache.evictBefore(id, e.Epoch) }
@@ -325,6 +383,12 @@ type ScaleStats struct {
 	// derived-model builds ever, and entries currently cached.
 	CacheBuilds  int64
 	CacheEntries int
+	// DegradedArrivals, DegradedPlacements, and ShedArrivals aggregate
+	// the failure-path counters across every stream the engine served.
+	DegradedArrivals, DegradedPlacements, ShedArrivals int64
+	// Robustness aggregates every registry's retry-discipline counters;
+	// its Breaker field reports the most degraded breaker position.
+	Robustness RobustnessStats
 }
 
 // ScaleStats returns a consistent-enough snapshot for monitoring and tests.
@@ -340,6 +404,14 @@ func (o *OnlineScheduler) ScaleStats() ScaleStats {
 	if r := o.ring.Load(); r != nil {
 		s.ActiveShards = r.active
 	}
+	s.DegradedArrivals = o.degradedArrivals.Load()
+	s.DegradedPlacements = o.degradedPlacements.Load()
+	s.ShedArrivals = o.shedArrivals.Load()
+	o.regMu.RLock()
+	for _, r := range o.regList {
+		s.Robustness.merge(r.Robustness())
+	}
+	o.regMu.RUnlock()
 	return s
 }
 
@@ -496,6 +568,13 @@ type Stream struct {
 	// must be rebaselined before it may trigger again; comparing a stale
 	// window against a fresh mix produced spurious immediate retrains.
 	driftEpoch uint64
+	// degraded marks the stream as serving through the first-fit
+	// heuristic fallback; degradedEpoch is the epoch it degraded under.
+	// Degraded mode is sticky per epoch: the model path is retried only
+	// when a new epoch installs, so a broken epoch cannot re-fail every
+	// arrival.
+	degraded      bool
+	degradedEpoch uint64
 
 	// seenShifted/seenAug track which derived models this stream has
 	// already acquired, making the CacheHits/Adaptations/Retrainings
@@ -540,6 +619,8 @@ func (o *OnlineScheduler) acquireStreamOn(reg *ModelRegistry, pool *sync.Pool, c
 	s.tags = s.tags[:0]
 	s.last = 0
 	s.done = false
+	s.degraded = false
+	s.degradedEpoch = 0
 	clear(s.seenShifted)
 	clear(s.seenAug)
 	if o.opts.Drift.enabled() {
@@ -603,6 +684,12 @@ func (s *Stream) ensureTag(tag int) {
 		s.tags = append(s.tags, tagState{template: -1})
 	}
 }
+
+// InjectFaults arms the stream's simulator with a deterministic fault plan
+// (VM failures, stragglers — see cloud.NewFaultPlan). Call before the first
+// Submit; fates are drawn per rented VM from the plan's seed, so the same
+// arrivals under the same plan replay bit-identically.
+func (s *Stream) InjectFaults(p *cloud.FaultPlan) { s.sim.SetFaults(p) }
 
 // Submit delivers one arrival event — every query in arrived is stamped
 // with the stream clock's current time and the unstarted backlog is
@@ -691,9 +778,17 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 				if err != nil {
 					return err
 				}
+				// Every trigger attempt rebaselines the window — started,
+				// suppressed, busy, or failed. A failed retrain that left
+				// the window hot would re-fire on the very next arrival,
+				// forever (the retrigger storm); cold-starting the window
+				// makes the re-trigger cadence the detector's fill time,
+				// on top of which the registry's backoff/breaker gate sits.
+				s.drift.reset()
 				if swapped {
 					epoch = s.reg.Current()
 				}
+				s.driftEpoch = epoch.Epoch
 			}
 		}
 	}
@@ -703,15 +798,36 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 	}
 	s.batch = s.batch[:0]
 	for _, vm := range s.sim.VMs() {
+		// A VM whose injected failure instant has passed surrenders its
+		// killed in-flight run and unstarted queue for re-admission
+		// (exactly once — CollectFailed is a no-op afterwards), then the
+		// usual revocation sweep reclaims unstarted work from the living.
+		n := len(s.batch)
+		s.batch = vm.CollectFailed(t, s.batch)
+		s.res.FaultReadmissions += len(s.batch) - n
 		s.batch = vm.RevokeUnstartedInto(t, s.batch)
 	}
 	for _, q := range arrived {
 		s.batch = append(s.batch, q.Tag)
 	}
+	// Admission control: while degraded, a batch beyond MaxBacklog sheds
+	// its newest arrivals. Only queries arriving at this event are
+	// sheddable — work admitted earlier (re-admitted or revoked) completes
+	// exactly once, never silently vanishes mid-stream.
+	if s.degraded && s.eng.opts.MaxBacklog > 0 {
+		if over := len(s.batch) - s.eng.opts.MaxBacklog; over > 0 {
+			if over > len(arrived) {
+				over = len(arrived)
+			}
+			s.batch = s.batch[:len(s.batch)-over]
+			s.res.ShedArrivals += over
+			s.eng.shedArrivals.Add(int64(over))
+		}
+	}
 	slices.Sort(s.batch)
 
 	begin := time.Now()
-	sched, err := s.scheduleBatch(ctx, epoch, t, s.batch)
+	sched, err := s.scheduleEvent(ctx, epoch, t)
 	elapsed := time.Since(begin)
 	if err != nil {
 		return err
@@ -719,6 +835,54 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 	s.res.SchedulingTime += elapsed
 	s.res.PerArrival = append(s.res.PerArrival, elapsed)
 	return s.place(t, sched)
+}
+
+// scheduleEvent obtains a schedule for the current batch: the model path
+// when healthy, the first-fit heuristic fallback when degraded. A stream in
+// degraded mode stays on the heuristic until a new epoch installs; a model
+// path that errors under OnlineOptions.Degrade enters degraded mode instead
+// of failing the stream (context cancellation still aborts — a cancelled
+// stream must stop, not limp).
+func (s *Stream) scheduleEvent(ctx context.Context, epoch *ModelEpoch, t time.Duration) (*schedule.Schedule, error) {
+	if s.degraded {
+		if epoch.Epoch == s.degradedEpoch {
+			s.noteDegraded()
+			return s.scheduleDegraded(epoch)
+		}
+		s.degraded = false // new epoch: give the model path another chance
+	}
+	sched, err := s.scheduleBatch(ctx, epoch, t, s.batch)
+	if err == nil {
+		return sched, nil
+	}
+	if !s.eng.opts.Degrade || s.eng.fallbackType < 0 ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	s.degraded, s.degradedEpoch = true, epoch.Epoch
+	s.noteDegraded()
+	return s.scheduleDegraded(epoch)
+}
+
+// noteDegraded records one arrival event served by the degraded path.
+func (s *Stream) noteDegraded() {
+	s.res.DegradedArrivals++
+	s.eng.degradedArrivals.Add(1)
+}
+
+// scheduleDegraded schedules the batch with the first-fit heuristic on the
+// engine's fallback VM type — no model, no training search, just the §4
+// greedy baseline. Its placements are approximate but always servable, and
+// the goal's penalty still judges the true latencies at Finish.
+func (s *Stream) scheduleDegraded(epoch *ModelEpoch) (*schedule.Schedule, error) {
+	ft := s.eng.fallbackType
+	s.queries = s.queries[:0]
+	for _, tag := range s.batch {
+		s.queries = append(s.queries, workload.Query{TemplateID: int(s.tags[tag].template), Tag: tag})
+	}
+	s.wl = workload.Workload{Templates: s.eng.env.Templates, Queries: s.queries}
+	goal := epoch.Model.Goal
+	return heuristics.FirstFit(&s.wl, s.eng.env, goal, ft, heuristics.OrderFor(goal)), nil
 }
 
 // triggerDrift asks the registry to retrain toward the stream's observed
@@ -739,13 +903,31 @@ func (s *Stream) triggerDrift(ctx context.Context, emd float64) (swapped bool, e
 			// Another stream's synchronous retrain is running; its swap
 			// will serve us too.
 			return false, nil
-		default:
+		case errors.Is(err, errRetrainSuppressed):
+			// The registry's backoff window or breaker swallowed the
+			// trigger; keep serving the current epoch.
+			s.res.DriftSuppressed++
+			return false, nil
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Cancellation is the caller's stop signal, not a model
+			// failure: abort the stream.
 			return false, err
+		default:
+			// The retrain failed. The current epoch keeps serving — a
+			// broken retrain path must never take arrivals down with it.
+			// The registry recorded the failure (Stats, backoff, breaker)
+			// and this stream's window rebaselines on return.
+			s.res.DriftFailures++
+			return false, nil
 		}
 	}
-	if r.triggerRetrain(s.eng.retrainCtx, s.drift.mix(), emd) {
+	started, suppressed := r.triggerRetrain(s.eng.retrainCtx, s.drift.mix(), emd)
+	switch {
+	case started:
 		s.res.DriftTriggers++
 		s.res.DriftTriggerArrivals = append(s.res.DriftTriggerArrivals, len(s.res.PerArrival))
+	case suppressed:
+		s.res.DriftSuppressed++
 	}
 	return false, nil
 }
@@ -971,6 +1153,9 @@ func (s *Stream) place(t time.Duration, sched *schedule.Schedule) error {
 		s.candNext[ti] = 0
 	}
 	for _, vm := range s.sim.VMs() {
+		if vm.Failed() {
+			continue // a dead VM takes no new work
+		}
 		s.cands[vm.Type.ID] = append(s.cands[vm.Type.ID], vmCandidate{vm: vm, free: vm.NextFree(t)})
 	}
 	for ti := range s.cands {
@@ -994,12 +1179,38 @@ func (s *Stream) place(t time.Duration, sched *schedule.Schedule) error {
 			orig := int(s.tags[q.Tag].template)
 			lat, ok := s.eng.env.Latency(orig, target.Type.ID)
 			if !ok {
+				// Under Degrade, reroute the unservable query to the
+				// fallback VM type instead of failing the stream: partial
+				// placements of this event have already been enqueued, so
+				// absorbing the error here is the only exactly-once option.
+				if ft := s.eng.fallbackType; s.eng.opts.Degrade && ft >= 0 {
+					if flat, fok := s.eng.env.Latency(orig, ft); fok {
+						s.rerouteFallback(ft, t).Enqueue(q.Tag, orig, t, flat)
+						s.res.DegradedPlacements++
+						s.eng.degradedPlacements.Add(1)
+						continue
+					}
+				}
 				return fmt.Errorf("core: online placement: template %d (query tag %d) cannot run on VM type %d", orig, q.Tag, target.Type.ID)
 			}
 			target.Enqueue(q.Tag, orig, t, lat)
 		}
 	}
 	return nil
+}
+
+// rerouteFallback returns an active VM of the fallback type for a rerouted
+// query — the free-soonest unconsumed candidate if one exists, a fresh rent
+// otherwise. A freshly rented VM joins the candidate list so later reroutes
+// (and later abstract VMs of that type) share it instead of renting again.
+func (s *Stream) rerouteFallback(ft int, t time.Duration) *cloud.SimVM {
+	if next := s.candNext[ft]; next < len(s.cands[ft]) {
+		return s.cands[ft][next].vm
+	}
+	vm := s.sim.Rent(s.eng.env.VMTypes[ft], t)
+	s.res.VMsRented++
+	s.cands[ft] = append(s.cands[ft], vmCandidate{vm: vm, free: vm.ReadyAt})
+	return vm
 }
 
 // shiftKey identifies a shifted model in the engine's ω-map: derived models

@@ -196,8 +196,9 @@ func TestDriftDetectorTriggersExactlyOnce(t *testing.T) {
 	}
 }
 
-// A synchronous drift retrain failure must surface as the stream's error
-// and leave the old epoch serving.
+// A synchronous drift retrain failure must never take the stream down: the
+// old epoch keeps serving, every arrival completes, and the failure is
+// recorded in both the stream's and the registry's counters.
 func TestDriftRetrainFailureKeepsServing(t *testing.T) {
 	base := onlineBase(t, 4, 1)
 	opts := DefaultOnlineOptions()
@@ -208,12 +209,41 @@ func TestDriftRetrainFailureKeepsServing(t *testing.T) {
 		return nil, boom
 	})
 	w := shiftedStream(base.Env().Templates, 32, 40, 7*time.Minute)
-	if _, err := o.Run(w); !errors.Is(err, boom) {
-		t.Fatalf("want the retrain error to surface, got %v", err)
+	res, err := o.Run(w)
+	if err != nil {
+		t.Fatalf("a failed retrain must not fail the stream, got %v", err)
+	}
+	if len(res.Perf) != 72 {
+		t.Fatalf("%d of 72 arrivals completed across the failed retrain", len(res.Perf))
+	}
+	if res.DriftFailures == 0 {
+		t.Fatal("the stream never recorded the retrain failure")
+	}
+	if res.FinalEpoch != 0 {
+		t.Fatalf("stream finished on epoch %d; a failed retrain must keep epoch 0", res.FinalEpoch)
 	}
 	stats := o.Registry().Stats()
 	if stats.Epoch != 0 || stats.Failures == 0 || !errors.Is(stats.LastErr, boom) {
 		t.Fatalf("failed retrain must keep epoch 0 and record the failure, got %+v", stats)
+	}
+}
+
+// A cancelled context during a synchronous drift retrain must still abort
+// the stream — degradation absorbs model failures, never stop signals.
+func TestDriftRetrainCancellationAbortsStream(t *testing.T) {
+	base := onlineBase(t, 4, 1)
+	opts := DefaultOnlineOptions()
+	opts.Drift = DriftOptions{Window: 16, Threshold: 0.8, Synchronous: true}
+	opts.Degrade = true // even with degradation on
+	o := NewOnlineScheduler(base, opts)
+	ctx, cancel := context.WithCancel(context.Background())
+	o.Registry().SetRetrain(func(ctx context.Context, _ *ModelEpoch, _ []float64) (*Model, error) {
+		cancel()
+		return nil, ctx.Err()
+	})
+	w := shiftedStream(base.Env().Templates, 32, 40, 7*time.Minute)
+	if _, err := o.RunContext(ctx, w); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled to abort the stream, got %v", err)
 	}
 }
 

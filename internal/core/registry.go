@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wisedb/internal/store"
 )
@@ -74,6 +75,20 @@ type ModelRegistry struct {
 
 	checkpoints, checkpointFailures atomic.Int64
 	lastCkptErr                     atomic.Pointer[error]
+
+	// Retry discipline (see robust.go): policy, breaker position, backoff
+	// window, and the deterministic jitter cursor, all guarded by robustMu.
+	robustMu       sync.Mutex
+	policy         RetryPolicy
+	breaker        breakerState
+	breakerBudget  int
+	consecFailures int
+	suppress       int
+	jitterN        uint64
+
+	backoffSuppressed, breakerRejected atomic.Int64
+	breakerOpens, breakerCloses        atomic.Int64
+	checkpointRetries                  atomic.Int64
 }
 
 // NewModelRegistry returns a registry serving base as epoch 0, with the
@@ -83,7 +98,7 @@ func NewModelRegistry(base *Model) *ModelRegistry {
 	if base == nil {
 		panic("core: NewModelRegistry requires a base model")
 	}
-	r := &ModelRegistry{retrain: DriftRetrain}
+	r := &ModelRegistry{retrain: DriftRetrain, policy: DefaultRetryPolicy()}
 	r.cur.Store(&ModelEpoch{Model: base, Epoch: 0, Mix: base.TrainingMix()})
 	return r
 }
@@ -133,14 +148,15 @@ func (r *ModelRegistry) install(m *Model, mix []float64, lin store.Lineage) uint
 	return next.Epoch
 }
 
-// commitCheckpoint encodes and durably commits one epoch. Failures are
-// recorded in Stats and never disturb serving: the in-memory epoch keeps
-// serving, and the store keeps its previous committed state.
+// commitCheckpoint encodes and durably commits one epoch, retrying
+// transient store faults per the retry policy. Failures are recorded in
+// Stats and never disturb serving: the in-memory epoch keeps serving, and
+// the store keeps its previous committed state.
 func (r *ModelRegistry) commitCheckpoint(ms *store.ModelStore, e *ModelEpoch, lin store.Lineage) {
 	data, hash, err := encodeModel(e.Model)
 	if err == nil {
 		lin.ModelHash = hash
-		err = ms.Commit(data, lin)
+		err = r.commitWithRetry(ms, data, lin)
 	}
 	if err != nil {
 		r.checkpointFailures.Add(1)
@@ -148,6 +164,28 @@ func (r *ModelRegistry) commitCheckpoint(ms *store.ModelStore, e *ModelEpoch, li
 		return
 	}
 	r.checkpoints.Add(1)
+}
+
+// commitWithRetry attempts a durable commit up to the policy's attempt
+// bound, backing off (doubling, wall-clock — this never runs on an arrival
+// path) between attempts. A store.Commit that fails leaves the store's
+// previous committed state intact and its manifest untouched, so a retry is
+// a clean re-commit, not a repair.
+func (r *ModelRegistry) commitWithRetry(ms *store.ModelStore, data []byte, lin store.Lineage) error {
+	p := r.retryPolicy()
+	var err error
+	for attempt := 0; attempt < p.CheckpointAttempts; attempt++ {
+		if attempt > 0 {
+			r.checkpointRetries.Add(1)
+			if d := p.CheckpointBackoff; d > 0 {
+				time.Sleep(d << (attempt - 1))
+			}
+		}
+		if err = ms.Commit(data, lin); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // CheckpointTo attaches a durable model store: the current epoch is
@@ -204,7 +242,7 @@ func (r *ModelRegistry) CheckpointTo(ms *store.ModelStore) error {
 		parent = cur.Epoch - 1
 	}
 	lin := store.Lineage{Epoch: cur.Epoch, Parent: parent, Reason: reason, Mix: cur.Mix, ModelHash: hash}
-	if err := ms.Commit(data, lin); err != nil {
+	if err := r.commitWithRetry(ms, data, lin); err != nil {
 		return err
 	}
 	r.ckpt = ms
@@ -265,14 +303,21 @@ func (r *ModelRegistry) WarmStart(ms *store.ModelStore) (*ModelEpoch, error) {
 // background context, not the stream's, so a finishing stream does not
 // abort a retrain other streams will benefit from).
 func (r *ModelRegistry) TriggerRetrain(ctx context.Context, mix []float64) bool {
-	return r.triggerRetrain(ctx, mix, 0)
+	started, _ := r.triggerRetrain(ctx, mix, 0)
+	return started
 }
 
 // triggerRetrain is TriggerRetrain also carrying the EMD observed at the
-// drift trigger, recorded in the resulting epoch's checkpoint lineage.
-func (r *ModelRegistry) triggerRetrain(ctx context.Context, mix []float64, emd float64) bool {
+// drift trigger, recorded in the resulting epoch's checkpoint lineage. It
+// reports whether this call started a retrain, and — when it did not —
+// whether the retry discipline suppressed it (as opposed to one already
+// being in flight).
+func (r *ModelRegistry) triggerRetrain(ctx context.Context, mix []float64, emd float64) (started, suppressed bool) {
+	if !r.admitTrigger() {
+		return false, true
+	}
 	if !r.inFlight.CompareAndSwap(false, true) {
-		return false
+		return false, false
 	}
 	r.triggers.Add(1)
 	cur := r.Current()
@@ -282,7 +327,7 @@ func (r *ModelRegistry) triggerRetrain(ctx context.Context, mix []float64, emd f
 		defer r.inFlight.Store(false)
 		r.runRetrain(ctx, cur, mix, emd)
 	}()
-	return true
+	return true, false
 }
 
 // errRetrainInFlight reports that RetrainNow found another retrain running;
@@ -296,8 +341,13 @@ func (r *ModelRegistry) RetrainNow(ctx context.Context, mix []float64) error {
 	return r.retrainNow(ctx, mix, 0)
 }
 
-// retrainNow is RetrainNow also carrying the trigger EMD for lineage.
+// retrainNow is RetrainNow also carrying the trigger EMD for lineage. It
+// returns errRetrainSuppressed when the retry discipline swallowed the
+// trigger without attempting a retrain.
 func (r *ModelRegistry) retrainNow(ctx context.Context, mix []float64, emd float64) error {
+	if !r.admitTrigger() {
+		return errRetrainSuppressed
+	}
 	if !r.inFlight.CompareAndSwap(false, true) {
 		return errRetrainInFlight
 	}
@@ -306,9 +356,11 @@ func (r *ModelRegistry) retrainNow(ctx context.Context, mix []float64, emd float
 	return r.runRetrain(ctx, r.Current(), mix, emd)
 }
 
-// runRetrain builds the replacement model and swaps it in.
+// runRetrain builds the replacement model and swaps it in, feeding the
+// outcome back into the breaker/backoff state either way.
 func (r *ModelRegistry) runRetrain(ctx context.Context, cur *ModelEpoch, mix []float64, emd float64) error {
 	m, err := r.retrain(ctx, cur, mix)
+	r.noteRetrainResult(err)
 	if err != nil {
 		r.failures.Add(1)
 		r.lastErr.Store(&err)
@@ -341,6 +393,9 @@ type RegistryStats struct {
 	// LastCheckpointErr is the most recent checkpoint failure, nil if
 	// none.
 	LastCheckpointErr error
+	// Robustness is the failure-path discipline's state: backoff and
+	// breaker counters, breaker position, checkpoint retries.
+	Robustness RobustnessStats
 }
 
 // Stats returns a consistent-enough snapshot for monitoring and tests.
@@ -353,6 +408,7 @@ func (r *ModelRegistry) Stats() RegistryStats {
 		InFlight:           r.inFlight.Load(),
 		Checkpoints:        r.checkpoints.Load(),
 		CheckpointFailures: r.checkpointFailures.Load(),
+		Robustness:         r.Robustness(),
 	}
 	if p := r.lastErr.Load(); p != nil {
 		s.LastErr = *p

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wisedb/internal/cloud"
 	"wisedb/internal/workload"
 )
 
@@ -50,6 +51,12 @@ type Tenant struct {
 	Registry string
 	// Workload is the tenant's arrival stream.
 	Workload *workload.Workload
+	// Faults, when non-nil, arms the tenant's simulator with a
+	// deterministic fault plan (VM failures, stragglers) before serving
+	// begins. Faults are per-tenant: each tenant's draws are keyed by its
+	// own simulator's rent sequence, so results stay bit-deterministic at
+	// any shard count or rebalance timing.
+	Faults *cloud.FaultPlan
 }
 
 // ringVnodes is the number of virtual nodes per shard on the placement
@@ -147,11 +154,12 @@ func (o *OnlineScheduler) Rebalance(active int) error {
 // per-tenant results are bit-identical whatever the shard count or
 // rebalance timing.
 type tenantSlot struct {
-	idx int // position in RunTenants' input/result slices
-	id  TenantID
-	reg *ModelRegistry
-	w   *workload.Workload
-	sh  int // shard last driving this slot
+	idx    int // position in RunTenants' input/result slices
+	id     TenantID
+	reg    *ModelRegistry
+	w      *workload.Workload
+	faults *cloud.FaultPlan
+	sh     int // shard last driving this slot
 
 	// Lazily initialized by the first owning worker, so 10k tenants'
 	// arrival queues are built in parallel across shards, not serially at
@@ -225,7 +233,7 @@ func (o *OnlineScheduler) RunTenants(ctx context.Context, tenants []Tenant) ([]*
 			return nil, fmt.Errorf("core: tenant %d (id %016x): workload has %d templates, engine expects %d",
 				i, uint64(t.ID), len(t.Workload.Templates), len(o.env.Templates))
 		}
-		slots[i] = tenantSlot{idx: i, id: t.ID, reg: reg, w: t.Workload}
+		slots[i] = tenantSlot{idx: i, id: t.ID, reg: reg, w: t.Workload, faults: t.Faults}
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -284,6 +292,9 @@ func (o *OnlineScheduler) driveSlot(ctx context.Context, run *tenantRun, slot *t
 		slot.clk = &SimClock{}
 		slot.q = newArrivalQueue(slot.w.Queries)
 		slot.s = o.acquireStreamOn(slot.reg, &o.shards[sh].pool, slot.clk)
+		if slot.faults != nil {
+			slot.s.InjectFaults(slot.faults)
+		}
 		slot.s.Reserve(len(slot.w.Queries))
 	}
 	slot.sh = sh

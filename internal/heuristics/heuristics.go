@@ -32,6 +32,22 @@ const (
 	Pack9Order
 )
 
+// OrderFor returns the first-fit ordering best suited to a goal, following
+// §7.2's pairing: FFD for Max (bin packing against one deadline), Pack9 for
+// Percentile (push the expensive tail into the violation margin), FFI for
+// everything else (PerQuery, Average). The serving engine's degraded path
+// uses it to pick its fallback ordering from the epoch's goal.
+func OrderFor(goal sla.Goal) Order {
+	switch goal.(type) {
+	case sla.MaxLatency:
+		return Decreasing
+	case sla.Percentile:
+		return Pack9Order
+	default:
+		return Increasing
+	}
+}
+
 // FFD schedules the workload with first-fit decreasing on VM type vmType.
 func FFD(w *workload.Workload, env *schedule.Env, goal sla.Goal, vmType int) *schedule.Schedule {
 	return FirstFit(w, env, goal, vmType, Decreasing)

@@ -153,3 +153,22 @@ func TestFirstFitPlacesUnfittableQueries(t *testing.T) {
 		t.Fatalf("all queries must be placed, got %d", s.NumQueries())
 	}
 }
+
+// OrderFor pairs each SLA goal class with its §7.2 first-fit ordering.
+func TestOrderFor(t *testing.T) {
+	e := env(3)
+	cases := []struct {
+		goal sla.Goal
+		want Order
+	}{
+		{sla.NewMaxLatency(10*time.Minute, e.Templates, 1), Decreasing},
+		{sla.NewPercentile(90, 10*time.Minute, e.Templates, 1), Pack9Order},
+		{sla.NewPerQuery(3, e.Templates, 1), Increasing},
+		{sla.NewAverage(10*time.Minute, e.Templates, 1), Increasing},
+	}
+	for _, c := range cases {
+		if got := OrderFor(c.goal); got != c.want {
+			t.Errorf("OrderFor(%T) = %v, want %v", c.goal, got, c.want)
+		}
+	}
+}

@@ -93,6 +93,12 @@ type ModelStore struct {
 	// injected payload failure exercises exactly the "crash while writing
 	// an epoch file" window.
 	writePayload func(path string, data []byte) error
+	// writeManifest is the same seam for the MANIFEST rewrite — the second
+	// write stage of the commit protocol. An injected failure here lands in
+	// the "payload durable, commit unacknowledged" window: Commit must
+	// report the error, drop the entry, and leave an orphan payload for the
+	// next Open to sweep.
+	writeManifest func(path string, data []byte) error
 }
 
 // DefaultKeep is the number of epochs a store retains by default.
@@ -241,7 +247,11 @@ func (s *ModelStore) writeManifestLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: manifest: %w", err)
 	}
-	if err := WriteFileAtomic(filepath.Join(s.dir, manifestName), append(raw, '\n')); err != nil {
+	write := s.writeManifest
+	if write == nil {
+		write = WriteFileAtomic
+	}
+	if err := write(filepath.Join(s.dir, manifestName), append(raw, '\n')); err != nil {
 		return fmt.Errorf("store: manifest: %w", err)
 	}
 	return nil
@@ -422,4 +432,30 @@ func (s *ModelStore) SetPayloadWriter(write func(path string, data []byte) error
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.writePayload = write
+}
+
+// SetManifestWriter installs a replacement for the default atomic MANIFEST
+// write — the fault-injection seam for the second commit stage. A nil writer
+// restores the default.
+func (s *ModelStore) SetManifestWriter(write func(path string, data []byte) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeManifest = write
+}
+
+// Quarantined lists the .corrupt files recovery and read-time verification
+// have set aside in the store directory, sorted by name. These are evidence
+// of past corruption, never deleted by the store itself.
+func (s *ModelStore) Quarantined() []string {
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, de := range dirents {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".corrupt") {
+			out = append(out, de.Name())
+		}
+	}
+	return out
 }

@@ -205,3 +205,112 @@ func TestModelStoreLineageIntegrityFields(t *testing.T) {
 		t.Fatalf("lineage integrity fields wrong: %+v", e)
 	}
 }
+
+// Commit must fail cleanly at either write stage: a payload-stage fault
+// commits nothing; a manifest-stage fault leaves only an orphan payload that
+// the next Open sweeps. In both cases the store stays on its last good
+// epoch.
+func TestCommitFailsAtEveryWriteStage(t *testing.T) {
+	boom := errors.New("injected write fault")
+	for _, stage := range []string{"payload", "manifest"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustCommit(t, s, 0)
+			switch stage {
+			case "payload":
+				s.SetPayloadWriter(func(string, []byte) error { return boom })
+			case "manifest":
+				s.SetManifestWriter(func(string, []byte) error { return boom })
+			}
+			if err := s.Commit(payload(1), Lineage{Epoch: 1, Parent: 0, Reason: "drift"}); !errors.Is(err, boom) {
+				t.Fatalf("commit with a failing %s write: got %v", stage, err)
+			}
+			if epoch, ok := s.LatestEpoch(); !ok || epoch != 0 {
+				t.Fatalf("store must stay on epoch 0, got %d (%v)", epoch, ok)
+			}
+			// A failed commit must not poison the epoch: clearing the fault
+			// and retrying the same commit succeeds.
+			s.SetPayloadWriter(nil)
+			s.SetManifestWriter(nil)
+			if err := s.Commit(payload(1), Lineage{Epoch: 1, Parent: 0, Reason: "drift"}); err != nil {
+				t.Fatalf("retry after clearing the fault: %v", err)
+			}
+			// Reopen: recovery agrees, and no stray files remain.
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if epoch, ok := s2.LatestEpoch(); !ok || epoch != 1 {
+				t.Fatalf("reopened store: epoch %d (%v), want 1", epoch, ok)
+			}
+			if q := s2.Quarantined(); len(q) != 0 {
+				t.Fatalf("a failed commit is not corruption; quarantine must be empty, got %v", q)
+			}
+		})
+	}
+}
+
+// A manifest-stage fault strands the durable payload as an orphan; the next
+// Open sweeps it rather than resurrecting the unacknowledged commit.
+func TestManifestFaultOrphanSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, s, 0)
+	boom := errors.New("injected manifest fault")
+	s.SetManifestWriter(func(string, []byte) error { return boom })
+	if err := s.Commit(payload(1), Lineage{Epoch: 1, Parent: 0, Reason: "drift"}); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, fmt.Sprintf(epochPattern, uint64(1)))
+	if _, err := os.Stat(orphan); err != nil {
+		t.Fatalf("the payload must be on disk before the manifest stage: %v", err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("Open must sweep the unacknowledged payload, got %v", err)
+	}
+}
+
+// Quarantined surfaces the .corrupt files recovery sets aside.
+func TestQuarantinedListing(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, s, 0)
+	mustCommit(t, s, 1)
+	if q := s.Quarantined(); len(q) != 0 {
+		t.Fatalf("healthy store: want no quarantine, got %v", q)
+	}
+	// Flip a byte in epoch 1: recovery must quarantine it.
+	path := filepath.Join(dir, fmt.Sprintf(epochPattern, uint64(1)))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s2.Quarantined()
+	if len(q) != 1 || q[0] != filepath.Base(path)+".corrupt" {
+		t.Fatalf("want exactly the corrupted epoch quarantined, got %v", q)
+	}
+	if epoch, ok := s2.LatestEpoch(); !ok || epoch != 0 {
+		t.Fatalf("recovery must fall back to epoch 0, got %d (%v)", epoch, ok)
+	}
+}

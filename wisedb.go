@@ -46,6 +46,7 @@ package wisedb
 import (
 	"time"
 
+	"wisedb/internal/chaos"
 	"wisedb/internal/cloud"
 	"wisedb/internal/core"
 	"wisedb/internal/schedule"
@@ -102,6 +103,25 @@ type (
 	ScaleStats = core.ScaleStats
 )
 
+// Robustness and fault-injection types.
+type (
+	// FaultSpec configures deterministic VM failures and stragglers in
+	// the cloud simulator; the zero value injects nothing.
+	FaultSpec = cloud.FaultSpec
+	// FaultPlan is a seeded fault plan a simulator draws VM fates from.
+	FaultPlan = cloud.FaultPlan
+	// RetryPolicy tunes the registry's retrain backoff, circuit breaker,
+	// and bounded checkpoint retry.
+	RetryPolicy = core.RetryPolicy
+	// RobustnessStats snapshots the failure-path counters: backoff
+	// suppressions, breaker state and transitions, checkpoint retries.
+	RobustnessStats = core.RobustnessStats
+	// ChaosSpec describes one seeded chaos scenario across the serving
+	// stack's failure domains (VM faults, retrain failures, flaky
+	// checkpoint writes).
+	ChaosSpec = chaos.Spec
+)
+
 // Durable model persistence types.
 type (
 	// ModelStore is a crash-safe on-disk directory of model epochs.
@@ -127,6 +147,8 @@ var (
 	ErrCorrupt = store.ErrCorrupt
 	// ErrEmptyStore reports a model store with no recoverable epochs.
 	ErrEmptyStore = store.ErrEmpty
+	// ErrInjected marks every fault the chaos harness injects.
+	ErrInjected = chaos.ErrInjected
 )
 
 // ModelFormatVersion is the version of the model container format this
@@ -209,6 +231,18 @@ var (
 	DriftRetrain = core.DriftRetrain
 	// HashTenantID derives a well-spread TenantID from a tenant name.
 	HashTenantID = core.HashTenantID
+	// NewFaultPlan seeds a deterministic VM fault plan for a simulator.
+	NewFaultPlan = cloud.NewFaultPlan
+	// DefaultRetryPolicy is the registry's stock retry discipline:
+	// exponential backoff with jitter plus a circuit breaker on retrains,
+	// and a 3-attempt bounded checkpoint retry.
+	DefaultRetryPolicy = core.DefaultRetryPolicy
+	// FailFirstRetrains wraps a RetrainFunc so its first k calls fail
+	// with ErrInjected — the chaos harness's retrain injector.
+	FailFirstRetrains = chaos.FailFirstRetrains
+	// FlakyPayloadWriter fails the first k model-store payload writes
+	// with ErrInjected, then writes atomically.
+	FlakyPayloadWriter = chaos.FlakyPayloadWriter
 
 	// SaveModel atomically writes a model's versioned binary encoding;
 	// LoadModel reads one back, serving-ready with zero training
@@ -235,6 +269,9 @@ var (
 	// SkewWeights interpolates template weights between uniform and a
 	// point mass — the §7.5 skewed-workload generator.
 	SkewWeights = workload.SkewWeights
+	// FixedDelayArrivals builds an arrival schedule with a constant gap,
+	// for Workload.WithArrivals and Tenant streams.
+	FixedDelayArrivals = workload.FixedDelayArrivals
 
 	// DefaultVMTypes returns EC2-like VM types (t2.medium, t2.small, ...).
 	DefaultVMTypes = cloud.DefaultVMTypes
