@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wisedb"
+)
+
+// daemonConfig bundles the network-daemon knobs of serve -listen.
+type daemonConfig struct {
+	listen, httpAddr string
+	maxConns         int
+	admitRate        float64
+	admitBurst       int
+	deadline         time.Duration
+	drainGrace       time.Duration
+	chaos            wisedb.ChaosSpec // Net faults wrap the listener when armed
+}
+
+// runDaemon turns serve into a long-running network daemon: listen,
+// serve until SIGTERM (or ^C), then drain gracefully — stop accepting,
+// flush every in-flight stream exactly once, checkpoint every registry
+// — and print the final accounting. A kill mid-drain leaves the store
+// at its last two-rename commit, warm-startable by construction.
+func runDaemon(engine *wisedb.OnlineScheduler, ms *wisedb.ModelStore, cfg daemonConfig) {
+	scfg := wisedb.ServerConfig{
+		Engine:          engine,
+		HTTPAddr:        cfg.httpAddr,
+		MaxConns:        cfg.maxConns,
+		AdmitRate:       cfg.admitRate,
+		AdmitBurst:      cfg.admitBurst,
+		DefaultDeadline: cfg.deadline,
+		DrainGrace:      cfg.drainGrace,
+	}
+	if cfg.chaos.Net.Enabled() {
+		ln, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scfg.Listener = cfg.chaos.WrapListener(ln)
+		fmt.Fprintf(os.Stderr, "chaos armed at the listener: seed %d, drop rate %.2f, stall rate %.2f\n",
+			cfg.chaos.Seed, cfg.chaos.Net.DropRate, cfg.chaos.Net.StallRate)
+	} else {
+		scfg.Addr = cfg.listen
+	}
+	srv, err := wisedb.NewServer(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "serving on %s", srv.Addr())
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Fprintf(os.Stderr, " (sidecar http://%s)", a)
+	}
+	fmt.Fprintln(os.Stderr, "; SIGTERM drains")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "%s: draining (grace %s)...\n", got, cfg.drainGrace)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainGrace+30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	st := srv.Stats()
+	fmt.Printf("daemon: %d conns accepted (%d rejected at the cap), %d streams served\n",
+		st.AcceptedConns, st.RejectedConns, st.StreamsServed)
+	fmt.Printf("arrivals: %d admitted, %d shed at admission, %d completed\n",
+		st.Admitted, st.Shed, st.Completed)
+	scale := st.Scale
+	if scale.DeadlineMisses > 0 || scale.DegradedArrivals > 0 || scale.ShedArrivals > int64(st.Shed) {
+		fmt.Printf("degradation: %d deadline misses, %d degraded arrivals, %d shed in-engine\n",
+			scale.DeadlineMisses, scale.DegradedArrivals, scale.ShedArrivals-int64(st.Shed))
+	}
+	if st.ProtocolErrors > 0 {
+		fmt.Printf("protocol errors: %d connections dropped for garbage\n", st.ProtocolErrors)
+	}
+	if ms != nil {
+		if latest, ok := ms.LatestEpoch(); ok {
+			fmt.Printf("model store %s: latest epoch %d of %d on disk\n", ms.Dir(), latest, len(ms.Entries()))
+		}
+	}
+}

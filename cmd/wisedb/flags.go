@@ -1,0 +1,40 @@
+package main
+
+import "fmt"
+
+// daemonOnlyFlags are meaningful only when serve runs as a network
+// daemon (-listen); setting one without -listen is silently ignored
+// configuration, which validateFlags turns into an error.
+var daemonOnlyFlags = []string{
+	"http", "max-conns", "admit-rate", "admit-burst", "drain-grace",
+	"drop-rate", "stall-rate",
+}
+
+// validateFlags rejects incoherent flag combinations up front, before
+// any training or store I/O happens — a clear error beats silent
+// misbehavior (a -model silently outvoted by a store epoch, a registry
+// tier no stream ever binds to, a -checkpoint with nowhere to land).
+// explicit holds the flag names actually given on the command line,
+// which matters for flags with truthy defaults like -checkpoint.
+func validateFlags(cmd string, explicit map[string]bool, modelPath, storeDir string, registries, streams int, listen string) error {
+	if explicit["checkpoint"] && storeDir == "" {
+		return fmt.Errorf("-checkpoint requires -store: checkpoints need a model store directory to land in")
+	}
+	if cmd != "serve" {
+		return nil
+	}
+	if modelPath != "" && storeDir != "" {
+		return fmt.Errorf("-model and -store are mutually exclusive: a non-empty store serves its newest epoch and would silently override the model file; warm-start with -store alone, or seed a fresh store by running serve with -store (it trains and checkpoints a base model)")
+	}
+	if listen == "" {
+		if registries > streams {
+			return fmt.Errorf("-registries %d exceeds -streams %d: streams bind to registries round-robin, so the extra tiers would never serve a stream", registries, streams)
+		}
+		for _, name := range daemonOnlyFlags {
+			if explicit[name] {
+				return fmt.Errorf("-%s only applies to the network daemon: add -listen ADDR", name)
+			}
+		}
+	}
+	return nil
+}

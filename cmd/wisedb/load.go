@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"wisedb"
+)
+
+// loadConfig bundles the load-generator knobs of the load subcommand.
+type loadConfig struct {
+	addr                   string
+	conns, queries, window int
+	delay, deadline        time.Duration
+	registry               string
+	seed                   int64
+}
+
+// connStats is one connection's accounting, written by its goroutine
+// only.
+type connStats struct {
+	admitted, shed int
+	lat            []time.Duration // per-ack round trip, Send to Ack
+	res            wisedb.ClientResult
+	finished       bool
+	err            error
+}
+
+// runLoad drives the serving daemon from many concurrent connections,
+// each one tenant stream pipelining a window of Submit frames. Dials
+// retry with the registry's jittered-backoff schedule, so a fleet of
+// load generators restarting against a busy daemon spreads itself out.
+// Arrival instants are virtual (spaced -delay apart), so wire
+// throughput — not simulated query latency — is what's measured.
+func runLoad(cfg loadConfig) {
+	stats := make([]connStats, cfg.conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range stats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			driveConn(&stats[i], i, cfg)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var admitted, shed, dialFailures, finished int
+	var completed, resultShed uint64
+	var cost, penalty float64
+	var epoch uint64
+	var lat []time.Duration
+	var firstErr error
+	for i := range stats {
+		cs := &stats[i]
+		if cs.err != nil {
+			dialFailures++
+			if firstErr == nil {
+				firstErr = cs.err
+			}
+			continue
+		}
+		admitted += cs.admitted
+		shed += cs.shed
+		lat = append(lat, cs.lat...)
+		if cs.finished {
+			finished++
+			completed += uint64(cs.res.Completed)
+			resultShed += uint64(cs.res.Shed)
+			cost += cs.res.Cost
+			penalty += cs.res.Penalty
+			if cs.res.Epoch > epoch {
+				epoch = cs.res.Epoch
+			}
+		}
+	}
+	if admitted+shed == 0 {
+		log.Fatalf("no arrivals reached the daemon (%d/%d dials failed, first error: %v)", dialFailures, cfg.conns, firstErr)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		return lat[int(p/100*float64(len(lat)-1))]
+	}
+	fmt.Printf("load: %d conns x %d queries in %s: %.0f arrivals/sec over the wire\n",
+		cfg.conns, cfg.queries, elapsed.Round(time.Millisecond),
+		float64(admitted+shed)/elapsed.Seconds())
+	fmt.Printf("admitted %d, shed %d at admission; ack latency p50 %s  p99 %s\n",
+		admitted, shed, pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond))
+	fmt.Printf("streams finished %d/%d (%d dial failures); server completed %d, cost %.2f¢ (penalty %.2f¢), newest epoch %d\n",
+		finished, cfg.conns, dialFailures, completed, cost, penalty, epoch)
+	if dialFailures > 0 && firstErr != nil {
+		fmt.Printf("first dial error: %v\n", firstErr)
+	}
+}
+
+// driveConn runs one connection's stream: a pipelined window of Submit
+// frames, then Finish. Ack latencies are tracked FIFO — the server acks
+// in submit order over one ordered connection.
+func driveConn(cs *connStats, id int, cfg loadConfig) {
+	c, err := wisedb.DialServer(cfg.addr, wisedb.ClientOptions{
+		Clock:    wisedb.ClockVirtual,
+		Registry: cfg.registry,
+		Tenant:   fmt.Sprintf("load-%05d", id),
+		Retry:    wisedb.DefaultRetryPolicy(),
+		Seed:     uint64(cfg.seed) + uint64(id),
+	})
+	if err != nil {
+		cs.err = err
+		return
+	}
+	defer c.Close()
+
+	// sendTimes is a FIFO ring of in-flight Send instants: acks arrive
+	// in order, so each ReadAck pops the oldest.
+	sendTimes := make([]time.Time, cfg.window+1)
+	head, tail := 0, 0
+	readAck := func() error {
+		acc, shedN, _, err := c.ReadAck()
+		if err != nil {
+			return err
+		}
+		cs.admitted += acc
+		cs.shed += shedN
+		cs.lat = append(cs.lat, time.Since(sendTimes[head]))
+		head = (head + 1) % len(sendTimes)
+		return nil
+	}
+	// The Welcome advertises the serving model's template count; cycle
+	// through all of them.
+	k := int(c.Templates)
+	if k == 0 {
+		k = 1
+	}
+	q := []wisedb.WireQuery{{}}
+	for i := 0; i < cfg.queries; i++ {
+		q[0] = wisedb.WireQuery{Template: uint32(i % k), Tag: uint32(i)}
+		sendTimes[tail] = time.Now()
+		tail = (tail + 1) % len(sendTimes)
+		if err := c.Send(q, time.Duration(i)*cfg.delay, cfg.deadline); err != nil {
+			cs.err = err
+			return
+		}
+		if c.Pending() >= cfg.window {
+			if err := c.Flush(); err != nil {
+				cs.err = err
+				return
+			}
+			for c.Pending() > cfg.window/2 {
+				if err := readAck(); err != nil {
+					cs.err = err
+					return
+				}
+			}
+		}
+	}
+	if err := c.Flush(); err != nil {
+		cs.err = err
+		return
+	}
+	for c.Pending() > 0 {
+		if err := readAck(); err != nil {
+			cs.err = err
+			return
+		}
+	}
+	res, err := c.Finish()
+	if err != nil {
+		cs.err = err
+		return
+	}
+	cs.res, cs.finished = res, true
+}

@@ -9,8 +9,12 @@
 //	wisedb schedule [-model m.wsdb]   # train/load + schedule a random batch
 //	wisedb recommend                  # derive k service tiers with cost estimates
 //	wisedb online [-model m.wsdb]     # simulate an online arrival stream
-//	wisedb serve [-model m.wsdb] [-store DIR] [-checkpoint]
+//	wisedb serve [-store DIR] [-checkpoint]
 //	                                  # drive K concurrent tenant streams
+//	wisedb serve -listen :7070 [-http :7071]
+//	                                  # run as a long-lived network daemon
+//	wisedb load -addr HOST:7070 -conns 200
+//	                                  # drive a daemon over the wire
 //	wisedb inspect PATH               # dump a model file's (or store dir's)
 //	                                  # header, mix histogram, and lineage
 //
@@ -38,12 +42,26 @@
 // circuit-breaker state, checkpoint retries, degraded/shed arrivals, and
 // queries re-admitted after VM failures.
 //
+// With -listen, serve becomes the overload-safe network daemon instead:
+// a TCP listener speaking the internal/wire framing (one connection per
+// tenant stream) with an HTTP sidecar (-http) for /healthz, /readyz, and
+// /stats. -admit-rate/-admit-burst arm token-bucket admission control
+// that sheds before the engine sees a query, -deadline bounds each
+// placement, -max-conns caps connections, and SIGTERM drains gracefully:
+// stop accepting, flush in-flight streams exactly once, checkpoint every
+// registry, exit. With -chaos-seed, -drop-rate/-stall-rate inject
+// dropped and stalled connections at the listener. `wisedb load` is the
+// matching load generator: -conns pipelined client connections (window
+// -window) driving virtual arrivals -delay apart, with jittered-backoff
+// dial retries; it reports wire throughput and ack-latency percentiles.
+//
 // Model persistence: `wisedb train -o m.wsdb && wisedb serve -model m.wsdb`
 // serves with zero training searches at startup. With -store DIR the
 // server warm-starts from the newest checkpointed epoch in DIR (training
 // only if the store is empty) and — with -checkpoint, the default —
 // commits every drift-retrained epoch back to it, so a crash loses at most
-// the epoch being written. `wisedb inspect` reads headers and lineage
+// the epoch being written; -model with -store is rejected (the store
+// defines what serves). `wisedb inspect` reads headers and lineage
 // without ever decoding a decision tree.
 package main
 
@@ -91,6 +109,19 @@ func main() {
 	flakyCheckpoints := flag.Int("flaky-checkpoints", 0, "serve: fail the first K checkpoint writes transiently (with -chaos-seed)")
 	degrade := flag.Bool("degrade", false, "serve: fall back to heuristic scheduling when the epoch model is unusable")
 	maxBacklog := flag.Int("max-backlog", 0, "serve: shed new arrivals above this backlog while degraded (0 = never shed)")
+	listen := flag.String("listen", "", "serve: run as a network daemon on this TCP address instead of the in-process load generator")
+	httpAddr := flag.String("http", "", "serve daemon: HTTP sidecar address for /healthz, /readyz, /stats")
+	maxConns := flag.Int("max-conns", 1024, "serve daemon: concurrent connection cap")
+	admitRate := flag.Float64("admit-rate", 0, "serve daemon: token-bucket admission rate in queries/sec (0 = no admission control)")
+	admitBurst := flag.Int("admit-burst", 0, "serve daemon: admission token-bucket depth (0 = one second of -admit-rate)")
+	deadline := flag.Duration("deadline", 0, "placement deadline: serve daemon default, load per-request (0 = none)")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "serve daemon: how long a drain waits for in-flight connections")
+	dropRate := flag.Float64("drop-rate", 0, "serve daemon: probability a connection is dropped mid-stream (with -chaos-seed)")
+	stallRate := flag.Float64("stall-rate", 0, "serve daemon: probability a connection stalls once (with -chaos-seed)")
+	loadAddr := flag.String("addr", "127.0.0.1:7070", "load: daemon address to drive")
+	conns := flag.Int("conns", 100, "load: concurrent client connections")
+	window := flag.Int("window", 64, "load: pipelined submit frames in flight per connection")
+	loadRegistry := flag.String("registry", "", "load: registry tier to bind streams to (empty = default)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -115,6 +146,22 @@ func main() {
 	// otherwise train, save nothing, and exit 0).
 	if flag.NArg() != 0 {
 		log.Fatalf("unexpected argument %q after %s (did you mean a flag?)", flag.Arg(0), cmd)
+	}
+
+	// Reject incoherent flag combinations before any training or store
+	// I/O happens.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlags(cmd, explicit, *modelPath, *storeDir, *registries, *streams, *listen); err != nil {
+		log.Fatal(err)
+	}
+
+	if cmd == "load" {
+		runLoad(loadConfig{
+			addr: *loadAddr, conns: *conns, queries: *queries, window: *window,
+			delay: *delay, deadline: *deadline, registry: *loadRegistry, seed: *seed,
+		})
+		return
 	}
 
 	templates := wisedb.DefaultTemplates(*numTemplates)
@@ -214,7 +261,7 @@ func main() {
 		opts.Shards = *shards
 		opts.Degrade = *degrade
 		opts.MaxBacklog = *maxBacklog
-		engine, ms := buildServeEngine(opts, getModel, *modelPath, *storeDir, *checkpoint)
+		engine, ms := buildServeEngine(opts, getModel, *storeDir, *checkpoint)
 		base := engine.Registry().Current().Model
 		// Tenant tiers: registry 0 is the engine's default; each extra one
 		// shares the base model but retrains (and checkpoints) on its own.
@@ -254,6 +301,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chaos armed: seed %d, VM failure rate %.2f, failing first %d retrains, %d flaky checkpoint writes\n",
 				*chaosSeed, *vmFailureRate, *failRetrains, *flakyCheckpoints)
 		}
+		if *listen != "" {
+			// Network daemon mode: serve until SIGTERM, then drain. The
+			// in-process load-generator knobs (-streams, -queries, -delay)
+			// do not apply; drive it with `wisedb load`.
+			if (*dropRate > 0 || *stallRate > 0) && *chaosSeed == 0 {
+				log.Fatal("-drop-rate and -stall-rate require -chaos-seed")
+			}
+			if *chaosSeed != 0 {
+				spec.Net = wisedb.NetFaultSpec{DropRate: *dropRate, StallRate: *stallRate}
+			}
+			runDaemon(engine, ms, daemonConfig{
+				listen: *listen, httpAddr: *httpAddr, maxConns: *maxConns,
+				admitRate: *admitRate, admitBurst: *admitBurst,
+				deadline: *deadline, drainGrace: *drainGrace,
+				chaos: spec,
+			})
+			return
+		}
 		// Generate load against the serving model's own template set: a
 		// loaded or warm-started model defines its environment.
 		serve(engine, base.Env().Templates, serveConfig{
@@ -275,9 +340,12 @@ func main() {
 }
 
 // buildServeEngine assembles the serving engine: warm start from the model
-// store when it has epochs, otherwise load/train a base model — and attach
-// checkpointing so every future hot swap lands durably.
-func buildServeEngine(opts wisedb.OnlineOptions, getModel func() *wisedb.Model, modelPath, storeDir string, checkpoint bool) (*wisedb.OnlineScheduler, *wisedb.ModelStore) {
+// store when it has epochs, otherwise train a base model — and attach
+// checkpointing so every future hot swap lands durably. (-model with
+// -store is rejected up front by validateFlags: a non-empty store defines
+// what serves, and silently discarding an explicitly named model would
+// mislead the operator.)
+func buildServeEngine(opts wisedb.OnlineOptions, getModel func() *wisedb.Model, storeDir string, checkpoint bool) (*wisedb.OnlineScheduler, *wisedb.ModelStore) {
 	if storeDir == "" {
 		return wisedb.NewOnlineScheduler(getModel(), opts), nil
 	}
@@ -288,11 +356,6 @@ func buildServeEngine(opts wisedb.OnlineOptions, getModel func() *wisedb.Model, 
 	engine, err := wisedb.NewOnlineSchedulerFromStore(ms, opts)
 	switch {
 	case err == nil:
-		// A non-empty store defines what serves; silently discarding an
-		// explicitly named model would mislead the operator.
-		if modelPath != "" {
-			log.Fatalf("both -model %s and non-empty -store %s given: the store's newest epoch would override the model file; drop -model to warm-start, or point -store at a fresh directory to seed it from the model", modelPath, storeDir)
-		}
 		ep := engine.Registry().Current()
 		fmt.Fprintf(os.Stderr, "warm start: serving epoch %d from %s (zero training searches)\n", ep.Epoch, storeDir)
 	case errors.Is(err, wisedb.ErrEmptyStore):

@@ -34,6 +34,9 @@ type Spec struct {
 	// CheckpointTransientFailures fails the first N model-store payload
 	// writes, exercising the registry's bounded checkpoint retry.
 	CheckpointTransientFailures int
+	// Net configures network faults (dropped/stalled connections) at
+	// the serving daemon's listener; see WrapListener.
+	Net NetFaultSpec
 }
 
 // VMPlan returns the deterministic VM fault plan for one stream. Streams are

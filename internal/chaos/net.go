@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// NetFaultSpec configures network fault injection at the serving
+// daemon's listener: a fraction of accepted connections is fated to be
+// dropped mid-stream (the socket dies under the peer) or stalled (the
+// connection freezes long enough to trip read timeouts), after a
+// deterministic number of bytes has flowed. The zero value injects
+// nothing.
+type NetFaultSpec struct {
+	// DropRate is the probability a connection is severed mid-life.
+	DropRate float64
+	// StallRate is the probability a connection stalls once for
+	// StallFor before resuming. Drop wins when both are drawn.
+	StallRate float64
+	// StallFor is the stall duration. Default 50ms.
+	StallFor time.Duration
+	// MinBytes and MaxBytes bound the bytes read before the fate
+	// fires, so faults land mid-protocol rather than at accept time.
+	// Defaults 64 and 4096.
+	MinBytes, MaxBytes int
+}
+
+// Enabled reports whether the spec injects anything.
+func (n NetFaultSpec) Enabled() bool { return n.DropRate > 0 || n.StallRate > 0 }
+
+func (n NetFaultSpec) withDefaults() NetFaultSpec {
+	if n.StallFor <= 0 {
+		n.StallFor = 50 * time.Millisecond
+	}
+	if n.MinBytes <= 0 {
+		n.MinBytes = 64
+	}
+	if n.MaxBytes < n.MinBytes {
+		n.MaxBytes = n.MinBytes + 4032
+	}
+	return n
+}
+
+// Connection fates.
+const (
+	fateNone = iota
+	fateDrop
+	fateStall
+)
+
+// WrapListener wraps a listener so accepted connections draw
+// deterministic fates from the spec, sub-seeded by accept order: the
+// same Spec over the same connection sequence injects the same drops
+// and stalls at the same byte offsets. Faults fire on the wrapped
+// side's reads — wrap the server's listener and the server observes
+// dropped and stalled clients.
+func (s Spec) WrapListener(ln net.Listener) net.Listener {
+	if !s.Net.Enabled() {
+		return ln
+	}
+	return &faultListener{Listener: ln, seed: uint64(s.Seed), spec: s.Net.withDefaults()}
+}
+
+type faultListener struct {
+	net.Listener
+	seed uint64
+	spec NetFaultSpec
+	n    atomic.Uint64
+}
+
+// sub64 is the same SplitMix64-style sub-seeding the VM plans use.
+func sub64(seed, idx uint64) uint64 {
+	z := seed + (idx+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps a draw to [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return c, err
+	}
+	idx := l.n.Add(1) - 1
+	draw := sub64(l.seed, idx)
+	fate := fateNone
+	switch u := unit(draw); {
+	case u < l.spec.DropRate:
+		fate = fateDrop
+	case u < l.spec.DropRate+l.spec.StallRate:
+		fate = fateStall
+	}
+	if fate == fateNone {
+		return c, nil
+	}
+	span := uint64(l.spec.MaxBytes - l.spec.MinBytes + 1)
+	after := l.spec.MinBytes + int(sub64(draw, 1)%span)
+	return &faultConn{Conn: c, fate: fate, after: after, stall: l.spec.StallFor}, nil
+}
+
+// faultConn fires its fate once its read byte count crosses the
+// threshold: a drop closes the underlying socket and surfaces the
+// close on this and every later read; a stall sleeps once, then the
+// connection behaves normally again.
+type faultConn struct {
+	net.Conn
+	fate  int
+	after int
+	stall time.Duration
+	read  int
+	fired bool
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if !c.fired && c.read >= c.after {
+		c.fired = true
+		switch c.fate {
+		case fateDrop:
+			c.Conn.Close()
+		case fateStall:
+			time.Sleep(c.stall)
+		}
+	}
+	n, err := c.Conn.Read(p)
+	c.read += n
+	return n, err
+}

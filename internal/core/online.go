@@ -132,6 +132,10 @@ type OnlineResult struct {
 	// control while degraded. FaultReadmissions counts queries re-admitted
 	// to the batch after their VM failed (each re-admitted exactly once).
 	DegradedArrivals, DegradedPlacements, ShedArrivals, FaultReadmissions int
+	// DeadlineMisses counts arrival events whose per-event deadline
+	// (Stream.SubmitDeadline) expired during model acquisition and were
+	// served by the degraded path instead of waiting the deadline out.
+	DeadlineMisses int
 	// Outcomes records every completed query — tag, arrival, and
 	// execution bounds — ordered by completion. Perf is its latency
 	// projection; Outcomes is what throughput and recovery analyses
@@ -211,7 +215,7 @@ type OnlineScheduler struct {
 
 	// Failure-path counters aggregated across streams (per-stream copies
 	// live in each OnlineResult).
-	degradedArrivals, degradedPlacements, shedArrivals atomic.Int64
+	degradedArrivals, degradedPlacements, shedArrivals, deadlineMisses atomic.Int64
 
 	// placeStarted, when non-nil, is invoked at the top of every place;
 	// tests use it to pin that simulator placement runs outside the timed
@@ -330,6 +334,20 @@ func (o *OnlineScheduler) Registries() int {
 	return len(o.regList)
 }
 
+// RegistryNames returns the names of every registry the engine hosts,
+// sorted. The serving daemon's drain walks this list to checkpoint each
+// registry exactly once.
+func (o *OnlineScheduler) RegistryNames() []string {
+	o.regMu.RLock()
+	names := make([]string, 0, len(o.regs))
+	for name := range o.regs {
+		names = append(names, name)
+	}
+	o.regMu.RUnlock()
+	slices.Sort(names)
+	return names
+}
+
 // NewOnlineSchedulerFromStore warm-starts a serving engine from a durable
 // model store: the newest intact epoch is decoded and serves immediately —
 // under its persisted epoch number and arrival mix, with zero training
@@ -345,6 +363,10 @@ func NewOnlineSchedulerFromStore(ms *store.ModelStore, opts OnlineOptions) (*Onl
 	o.registry.installEpoch(e)
 	return o, nil
 }
+
+// Templates returns the number of workload templates the engine's
+// environment defines — the valid TemplateID range for arrivals.
+func (o *OnlineScheduler) Templates() int { return len(o.env.Templates) }
 
 // Registry returns the engine's default model lifecycle subsystem: the
 // current serving epoch, hot-swap entry points, and retrain statistics.
@@ -386,6 +408,9 @@ type ScaleStats struct {
 	// DegradedArrivals, DegradedPlacements, and ShedArrivals aggregate
 	// the failure-path counters across every stream the engine served.
 	DegradedArrivals, DegradedPlacements, ShedArrivals int64
+	// DeadlineMisses aggregates arrival events whose per-event deadline
+	// expired during model acquisition (served degraded, not aborted).
+	DeadlineMisses int64
 	// Robustness aggregates every registry's retry-discipline counters;
 	// its Breaker field reports the most degraded breaker position.
 	Robustness RobustnessStats
@@ -407,6 +432,7 @@ func (o *OnlineScheduler) ScaleStats() ScaleStats {
 	s.DegradedArrivals = o.degradedArrivals.Load()
 	s.DegradedPlacements = o.degradedPlacements.Load()
 	s.ShedArrivals = o.shedArrivals.Load()
+	s.DeadlineMisses = o.deadlineMisses.Load()
 	o.regMu.RLock()
 	for _, r := range o.regList {
 		s.Robustness.merge(r.Robustness())
@@ -575,6 +601,10 @@ type Stream struct {
 	// arrival.
 	degraded      bool
 	degradedEpoch uint64
+	// eventDeadline, when non-zero, bounds the model acquisition of the
+	// current arrival event (set per event by SubmitDeadline). It is a
+	// budget, not a wall instant: each event gets its own window.
+	eventDeadline time.Duration
 
 	// seenShifted/seenAug track which derived models this stream has
 	// already acquired, making the CacheHits/Adaptations/Retrainings
@@ -621,6 +651,7 @@ func (o *OnlineScheduler) acquireStreamOn(reg *ModelRegistry, pool *sync.Pool, c
 	s.done = false
 	s.degraded = false
 	s.degradedEpoch = 0
+	s.eventDeadline = 0
 	clear(s.seenShifted)
 	clear(s.seenAug)
 	if o.opts.Drift.enabled() {
@@ -709,6 +740,49 @@ func (s *Stream) Submit(ctx context.Context, arrived ...workload.Query) error {
 	}
 	s.last = t
 	return s.onArrival(ctx, t, arrived)
+}
+
+// SubmitDeadline is Submit with a per-request placement deadline: if
+// obtaining a model for this event (a shifted or augmented build) takes
+// longer than d, the event is served by the degraded first-fit path
+// instead of waiting the build out — the arrival is placed, late
+// placement becomes the SLA penalty's problem, and the miss is counted
+// (OnlineResult.DeadlineMisses). Requires OnlineOptions.Degrade and a
+// viable fallback VM type; without them a missed deadline fails the
+// stream exactly like any other model-path error.
+//
+// The deadline guards only model acquisition — the fresh-batch serving
+// path never blocks, so a deadline adds nothing there (and costs
+// nothing: the steady-state 0 allocs/arrival invariant holds because no
+// context is derived on that path). d <= 0 means no deadline.
+func (s *Stream) SubmitDeadline(ctx context.Context, d time.Duration, arrived ...workload.Query) error {
+	s.eventDeadline = d
+	err := s.Submit(ctx, arrived...)
+	s.eventDeadline = 0
+	return err
+}
+
+// Shed records n arrivals dropped by admission control before
+// submission — the serving daemon's token bucket sheds on the socket,
+// and the drop lands in the same counters the engine's internal
+// MaxBacklog shedding uses (OnlineResult.ShedArrivals, engine-wide
+// ScaleStats.ShedArrivals), so overload accounting is one ledger no
+// matter which layer shed.
+func (s *Stream) Shed(n int) {
+	if n <= 0 || s.done {
+		return
+	}
+	s.res.ShedArrivals += n
+	s.eng.shedArrivals.Add(int64(n))
+}
+
+// Close returns the stream's scratch to the engine's pool. Call after
+// Finish (the result stays valid — results are never pooled), or
+// without Finish to cancel the stream and drop its simulated VMs. Use
+// only for streams opened with NewStream/NewStreamOn; Run and the
+// sharded drivers recycle their streams themselves.
+func (s *Stream) Close() {
+	s.eng.releaseStream(s, &s.eng.pool)
 }
 
 // Finish drains the stream's simulation and returns the final result: total
@@ -855,9 +929,17 @@ func (s *Stream) scheduleEvent(ctx context.Context, epoch *ModelEpoch, t time.Du
 	if err == nil {
 		return sched, nil
 	}
-	if !s.eng.opts.Degrade || s.eng.fallbackType < 0 ||
-		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	// The stream's own context going dead is the caller's stop signal:
+	// abort, never limp. A context error with the stream context still
+	// live is a per-event deadline (SubmitDeadline) expiring inside model
+	// acquisition — an overload condition, handled exactly like any other
+	// model-path failure: degrade if allowed.
+	if !s.eng.opts.Degrade || s.eng.fallbackType < 0 || ctx.Err() != nil {
 		return nil, err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.res.DeadlineMisses++
+		s.eng.deadlineMisses.Add(1)
 	}
 	s.degraded, s.degradedEpoch = true, epoch.Epoch
 	s.noteDegraded()
@@ -950,6 +1032,14 @@ func (s *Stream) scheduleBatch(ctx context.Context, epoch *ModelEpoch, t time.Du
 		if w > maxWait {
 			maxWait = w
 		}
+	}
+	if !allFresh && s.eventDeadline > 0 {
+		// The per-event deadline bounds only the slow path — model
+		// acquisition for waited batches. The fresh path below never
+		// derives a context, keeping it allocation-free.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.eventDeadline)
+		defer cancel()
 	}
 	switch {
 	case allFresh:

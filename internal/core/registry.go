@@ -177,8 +177,8 @@ func (r *ModelRegistry) commitWithRetry(ms *store.ModelStore, data []byte, lin s
 	for attempt := 0; attempt < p.CheckpointAttempts; attempt++ {
 		if attempt > 0 {
 			r.checkpointRetries.Add(1)
-			if d := p.CheckpointBackoff; d > 0 {
-				time.Sleep(d << (attempt - 1))
+			if p.CheckpointBackoff > 0 {
+				time.Sleep(p.RetryDelay(attempt, uint64(p.JitterSeed)))
 			}
 		}
 		if err = ms.Commit(data, lin); err == nil {
@@ -373,6 +373,41 @@ func (r *ModelRegistry) runRetrain(ctx context.Context, cur *ModelEpoch, mix []f
 // Wait blocks until any background retrain (swap included) and any
 // background checkpoint commit have completed.
 func (r *ModelRegistry) Wait() { r.wg.Wait() }
+
+// Drain quiesces the registry for shutdown: background retrains and
+// checkpoint commits are waited out, and if an attached store is still
+// behind the serving epoch (a background commit exhausted its retries
+// during a fault), one final synchronous commit is attempted. After
+// Drain returns nil, the attached store warm-starts into exactly the
+// epoch that was serving; with no store attached Drain is just Wait.
+func (r *ModelRegistry) Drain() error {
+	r.wg.Wait()
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	ms := r.ckpt
+	if ms == nil {
+		return nil
+	}
+	cur := r.cur.Load()
+	if latest, ok := ms.LatestEpoch(); ok && latest >= cur.Epoch {
+		return nil
+	}
+	data, hash, err := encodeModel(cur.Model)
+	if err != nil {
+		return fmt.Errorf("core: drain epoch %d: %w", cur.Epoch, err)
+	}
+	parent := cur.Epoch
+	if cur.Epoch > 0 {
+		parent = cur.Epoch - 1
+	}
+	lin := store.Lineage{Epoch: cur.Epoch, Parent: parent, Reason: "drain", Mix: cur.Mix, ModelHash: hash}
+	if err := r.commitWithRetry(ms, data, lin); err != nil {
+		r.checkpointFailures.Add(1)
+		return fmt.Errorf("core: drain epoch %d: %w", cur.Epoch, err)
+	}
+	r.checkpoints.Add(1)
+	return nil
+}
 
 // RegistryStats is a snapshot of the registry's lifecycle counters.
 type RegistryStats struct {

@@ -83,6 +83,33 @@ func (p RetryPolicy) normalized() RetryPolicy {
 	return p
 }
 
+// RetryDelay returns the wall-clock delay before retry number attempt
+// (attempt ≥ 1 — the delay after the attempt'th failure): the policy's
+// CheckpointBackoff doubling per attempt, capped at 30s, plus a
+// deterministic jitter in [0, delay/2) drawn from seed, so a fleet of
+// clients retrying the same outage spreads out instead of reconverging
+// in lockstep. The registry's checkpoint retries and the network
+// client's dial retries share this one schedule.
+func (p RetryPolicy) RetryDelay(attempt int, seed uint64) time.Duration {
+	p = p.normalized()
+	if attempt < 1 {
+		attempt = 1
+	}
+	const maxDelay = 30 * time.Second
+	d := p.CheckpointBackoff
+	for i := 1; i < attempt && d < maxDelay; i++ {
+		d <<= 1
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	if half := d / 2; half > 0 {
+		j := mix64(seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+		d += time.Duration(j % uint64(half))
+	}
+	return d
+}
+
 // breakerState is the retrain circuit breaker's position.
 type breakerState int
 

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wisedb/internal/wire"
+)
+
+// BenchmarkNetArrival measures the end-to-end network arrival path over
+// loopback TCP: a pipelined client window of Submit frames against the
+// daemon's pooled decode → admission → placement → ack loop. Compare
+// with core's BenchmarkOnlineArrival for the network tax over the
+// in-process ceiling.
+func BenchmarkNetArrival(b *testing.B) {
+	s, err := New(Config{Engine: testEngine(b), Addr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	c, err := Dial(s.Addr().String(), testClientOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const window = 64
+	q := []wire.Query{{}}
+	drain := func(to int) {
+		for c.Pending() > to {
+			if _, _, _, err := c.ReadAck(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q[0] = wire.Query{Template: uint32(i % 4), Tag: uint32(i % 8)}
+		if err := c.Send(q, time.Duration(i)*gap, 0); err != nil {
+			b.Fatal(err)
+		}
+		if c.Pending() >= window {
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			drain(window / 2)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	drain(0)
+	b.StopTimer()
+	res, err := c.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if int(res.Completed) != b.N {
+		b.Fatalf("completed %d of %d arrivals", res.Completed, b.N)
+	}
+}

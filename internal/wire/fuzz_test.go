@@ -1,0 +1,127 @@
+package wire_test
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"wisedb/internal/wire"
+)
+
+var update = flag.Bool("update", false, "regenerate the committed fuzz corpus")
+
+// typedWireError reports whether err is one of the codec's typed
+// failure modes.
+func typedWireError(err error) bool {
+	return errors.Is(err, wire.ErrTooLarge) || errors.Is(err, wire.ErrTruncated) ||
+		errors.Is(err, wire.ErrCorrupt) || errors.Is(err, wire.ErrUnknownType) ||
+		errors.Is(err, wire.ErrVersion)
+}
+
+// fuzzSeeds returns the seed bodies (type byte + payload, no length
+// prefix — the fuzzer explores the body space Decode sees after
+// ReadFrame strips and validates the prefix).
+func fuzzSeeds(t testing.TB) [][]byte {
+	body := func(enc []byte) []byte { return enc[4:] }
+	var seeds [][]byte
+	all := frames(t)
+	for _, name := range []string{"hello", "welcome", "submit", "ack", "finish", "result", "error"} {
+		seeds = append(seeds, body(all[name]))
+	}
+	submit, err := wire.AppendSubmit(nil, 3, 2_500_000, 100_000, []wire.Query{
+		{Template: 4, Tag: 11}, {Template: 0, Tag: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := body(submit)
+	seeds = append(seeds,
+		[]byte{},
+		[]byte{byte(wire.TypeSubmit)},
+		sb[:len(sb)/2],
+		func() []byte { b := append([]byte(nil), sb...); b[12] ^= 0x80; return b }(), // arrival sign flip
+		func() []byte { b := append([]byte(nil), sb...); b[21] = 0xFF; return b }(),  // count corruption
+	)
+	return seeds
+}
+
+// FuzzDecodeFrame pins the wire decoder's contract on hostile input,
+// mirroring FuzzDecodeModel: it never panics, never allocates
+// proportionally to an attacker-chosen count (every count is checked
+// against the bytes present and the protocol bounds), and fails only
+// with the typed errors. A body that does decode must describe a frame
+// the encoders would emit: re-encoding it must succeed and decode back
+// to an equivalent frame type.
+//
+// Run locally with: go test ./internal/wire -fuzz FuzzDecodeFrame
+// CI runs it as a bounded smoke (-fuzztime 30s).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var fr wire.Frame
+		if err := wire.Decode(body, &fr); err != nil {
+			if !typedWireError(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Decoded frames must re-encode: the decoder's bounds are at
+		// least as strict as the encoders'.
+		var enc []byte
+		var err error
+		switch fr.Type {
+		case wire.TypeHello:
+			enc, err = wire.AppendHello(nil, fr.Clock, fr.Registry, fr.Tenant)
+		case wire.TypeWelcome:
+			enc = wire.AppendWelcome(nil, fr.Templates, fr.MaxBatch)
+		case wire.TypeSubmit:
+			enc, err = wire.AppendSubmit(nil, fr.Seq, fr.ArrivalMicros, fr.DeadlineMicros, fr.Queries)
+		case wire.TypeAck:
+			enc = wire.AppendAck(nil, fr.Seq, fr.Accepted, fr.Shed, fr.Draining)
+		case wire.TypeFinish:
+			enc = wire.AppendFinish(nil)
+		case wire.TypeResult:
+			enc = wire.AppendResult(nil, fr.Cost, fr.Penalty, fr.Completed, fr.ShedTotal, fr.VMs, fr.Epoch, fr.Draining)
+		case wire.TypeError:
+			enc = wire.AppendError(nil, fr.Message)
+		default:
+			t.Fatalf("decode accepted unknown type %d", fr.Type)
+		}
+		if err != nil {
+			t.Fatalf("decoded frame cannot re-encode: %v", err)
+		}
+		var back wire.Frame
+		if err := wire.Decode(enc[4:], &back); err != nil {
+			t.Fatalf("re-encoded frame fails decode: %v", err)
+		}
+		if back.Type != fr.Type {
+			t.Fatalf("round trip changed type: %d -> %d", fr.Type, back.Type)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus materializes the seeds as committed corpus files
+// (testdata/fuzz/FuzzDecodeFrame/), so `go test -fuzz` and CI's bounded
+// smoke start from real protocol inputs. Regenerated with -update.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*update {
+		t.Skip("corpus regeneration runs with -update")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fuzzSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(s)))
+		name := filepath.Join(dir, fmt.Sprintf("seed_%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

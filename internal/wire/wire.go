@@ -1,0 +1,586 @@
+// Package wire implements the length-prefixed binary framing spoken
+// between the wisedb serving daemon and its clients.
+//
+// Every frame on the TCP connection is
+//
+//	u32 bodyLen (little-endian) | u8 type | payload
+//
+// with bodyLen covering the type byte plus the payload. The codec is
+// built for the hot arrival path: a single reused Frame struct, a
+// caller-owned read buffer that is grown once and then recycled, and
+// append-style encoders, so a Submit/Ack round trip performs zero
+// heap allocations in steady state.
+//
+// The decoder mirrors internal/store's hardening contract: it never
+// panics on hostile input, it fails only with the typed errors below,
+// and every variable-length count is bounds-checked against both a
+// protocol maximum and the bytes actually present, so a corrupt
+// length field cannot drive a large allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+func toBits(f float64) uint64   { return math.Float64bits(f) }
+func fromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Version is the protocol version carried in Hello/Welcome frames.
+// There is a single supported version; mismatches fail decoding with
+// ErrVersion so an old client is rejected at the handshake, not by a
+// garbled stream later.
+const Version = 1
+
+// Protocol bounds. They exist so a hostile or corrupt peer cannot make
+// the server allocate or index proportionally to an attacker-chosen
+// number: MaxTag in particular caps the per-stream tag table the
+// engine grows on first sight of a tag.
+const (
+	// MaxBody bounds the body (type byte + payload) of any frame.
+	MaxBody = 1 << 20
+	// MaxBatch bounds the number of queries in one Submit frame.
+	MaxBatch = 4096
+	// MaxTag bounds query tags accepted off the wire.
+	MaxTag = 1 << 22
+	// MaxTemplate bounds template ids accepted off the wire.
+	MaxTemplate = 1 << 16
+	// MaxName bounds the registry/tenant names in a Hello frame.
+	MaxName = 255
+	// MaxMessage bounds the message in an Error frame.
+	MaxMessage = 1 << 12
+)
+
+// Frame types.
+type Type uint8
+
+const (
+	// TypeHello opens a connection: version, clock mode, registry
+	// and tenant names. Client -> server, first frame.
+	TypeHello Type = 1
+	// TypeWelcome acknowledges a Hello: version, template count and
+	// the server's max batch size. Server -> client.
+	TypeWelcome Type = 2
+	// TypeSubmit carries a batch of arrivals with an optional
+	// virtual arrival instant and per-request deadline.
+	TypeSubmit Type = 3
+	// TypeAck acknowledges a Submit: how many were admitted, how
+	// many were shed, and whether the server is draining.
+	TypeAck Type = 4
+	// TypeFinish asks the server to finish the stream and report.
+	TypeFinish Type = 5
+	// TypeResult carries the stream's final accounting.
+	TypeResult Type = 6
+	// TypeError carries a fatal protocol/server error message; the
+	// connection closes after it.
+	TypeError Type = 7
+)
+
+// Clock modes carried in Hello. Wall mode stamps arrivals with the
+// server's wall clock; virtual mode trusts the client's per-Submit
+// ArrivalMicros and drives the stream's simulated clock with it, which
+// is how replay tooling and the load generator compress hours of
+// simulated arrivals into seconds of wire time.
+const (
+	ClockWall    uint8 = 0
+	ClockVirtual uint8 = 1
+)
+
+// Typed decode errors. Decode and ReadFrame fail only with these
+// (possibly wrapped); anything else escaping the decoder is a bug that
+// FuzzDecodeFrame is there to catch.
+var (
+	// ErrTooLarge reports a frame whose declared body exceeds MaxBody.
+	ErrTooLarge = errors.New("wire: frame exceeds size bound")
+	// ErrTruncated reports a frame shorter than its fields require.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrCorrupt reports a structurally invalid frame: out-of-range
+	// counts, ids beyond protocol bounds, or trailing garbage.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrUnknownType reports an unrecognized frame type byte.
+	ErrUnknownType = errors.New("wire: unknown frame type")
+	// ErrVersion reports a Hello/Welcome with an unsupported version.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+)
+
+// Query is one arrival on the wire: a template id and a tenant tag.
+type Query struct {
+	Template uint32
+	Tag      uint32
+}
+
+// Frame is the decoded form of any protocol frame. One Frame is meant
+// to be reused across every read on a connection: Decode repopulates
+// only the fields of the decoded type and recycles the Queries backing
+// array, so steady-state decoding does not allocate.
+type Frame struct {
+	Type Type
+
+	// Hello / Welcome.
+	Version   uint8
+	Clock     uint8  // Hello: ClockWall or ClockVirtual
+	Registry  string // Hello
+	Tenant    string // Hello
+	Templates uint32 // Welcome
+	MaxBatch  uint32 // Welcome
+
+	// Submit / Ack.
+	Seq            uint32
+	ArrivalMicros  int64 // Submit, virtual clock mode only
+	DeadlineMicros int64 // Submit: per-request placement deadline, 0 = server default
+	Queries        []Query
+	Accepted       uint16 // Ack
+	Shed           uint16 // Ack
+	Draining       bool   // Ack, Result
+
+	// Result.
+	Cost      float64
+	Penalty   float64
+	Completed uint32
+	ShedTotal uint32
+	VMs       uint32
+	Epoch     uint64
+
+	// Error.
+	Message string
+}
+
+// cursor is a minimal bounds-checked little-endian reader over a frame
+// body. All take methods fail with ErrTruncated once the body is
+// exhausted; the error is sticky via the caller checking each step.
+type cursor struct {
+	buf []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.buf) - c.off }
+
+func (c *cursor) u8() (uint8, error) {
+	if c.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	v := c.buf[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if c.remaining() < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint16(c.buf[c.off:])
+	c.off += 2
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) i64() (int64, error) {
+	v, err := c.u64()
+	return int64(v), err
+}
+
+func (c *cursor) f64() (float64, error) {
+	v, err := c.u64()
+	return fromBits(v), err
+}
+
+// str reads a length-prefixed string whose length fits in lenBytes
+// (1 or 2) and is capped at max. The length is checked against the
+// remaining bytes before the string is materialized, so a corrupt
+// length cannot drive an allocation larger than the frame itself.
+func (c *cursor) str(lenBytes, max int) (string, error) {
+	var n int
+	switch lenBytes {
+	case 1:
+		v, err := c.u8()
+		if err != nil {
+			return "", err
+		}
+		n = int(v)
+	default:
+		v, err := c.u16()
+		if err != nil {
+			return "", err
+		}
+		n = int(v)
+	}
+	if n > max {
+		return "", ErrCorrupt
+	}
+	if c.remaining() < n {
+		return "", ErrTruncated
+	}
+	s := string(c.buf[c.off : c.off+n])
+	c.off += n
+	return s, nil
+}
+
+// done fails with ErrCorrupt if the body has trailing bytes: every
+// frame must consume exactly its declared length.
+func (c *cursor) done() error {
+	if c.remaining() != 0 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// Decode parses one frame body (type byte + payload, without the u32
+// length prefix) into f, reusing f's buffers. It never panics and
+// fails only with the typed errors above.
+func Decode(body []byte, f *Frame) error {
+	if len(body) > MaxBody {
+		return ErrTooLarge
+	}
+	if len(body) < 1 {
+		return ErrTruncated
+	}
+	f.Type = Type(body[0])
+	c := cursor{buf: body, off: 1}
+	switch f.Type {
+	case TypeHello:
+		return decodeHello(&c, f)
+	case TypeWelcome:
+		return decodeWelcome(&c, f)
+	case TypeSubmit:
+		return decodeSubmit(&c, f)
+	case TypeAck:
+		return decodeAck(&c, f)
+	case TypeFinish:
+		return c.done()
+	case TypeResult:
+		return decodeResult(&c, f)
+	case TypeError:
+		return decodeError(&c, f)
+	default:
+		return ErrUnknownType
+	}
+}
+
+func decodeHello(c *cursor, f *Frame) error {
+	var err error
+	if f.Version, err = c.u8(); err != nil {
+		return err
+	}
+	if f.Version != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, f.Version, Version)
+	}
+	if f.Clock, err = c.u8(); err != nil {
+		return err
+	}
+	if f.Clock != ClockWall && f.Clock != ClockVirtual {
+		return ErrCorrupt
+	}
+	if f.Registry, err = c.str(1, MaxName); err != nil {
+		return err
+	}
+	if f.Tenant, err = c.str(1, MaxName); err != nil {
+		return err
+	}
+	return c.done()
+}
+
+func decodeWelcome(c *cursor, f *Frame) error {
+	var err error
+	if f.Version, err = c.u8(); err != nil {
+		return err
+	}
+	if f.Version != Version {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, f.Version, Version)
+	}
+	if f.Templates, err = c.u32(); err != nil {
+		return err
+	}
+	if f.MaxBatch, err = c.u32(); err != nil {
+		return err
+	}
+	if f.MaxBatch == 0 || f.MaxBatch > MaxBatch {
+		return ErrCorrupt
+	}
+	return c.done()
+}
+
+func decodeSubmit(c *cursor, f *Frame) error {
+	var err error
+	if f.Seq, err = c.u32(); err != nil {
+		return err
+	}
+	if f.ArrivalMicros, err = c.i64(); err != nil {
+		return err
+	}
+	if f.ArrivalMicros < 0 {
+		return ErrCorrupt
+	}
+	if f.DeadlineMicros, err = c.i64(); err != nil {
+		return err
+	}
+	if f.DeadlineMicros < 0 {
+		return ErrCorrupt
+	}
+	n, err := c.u16()
+	if err != nil {
+		return err
+	}
+	if n == 0 || int(n) > MaxBatch {
+		return ErrCorrupt
+	}
+	if c.remaining() < int(n)*8 {
+		return ErrTruncated
+	}
+	f.Queries = f.Queries[:0]
+	for i := 0; i < int(n); i++ {
+		tpl, _ := c.u32()
+		tag, _ := c.u32()
+		if tpl >= MaxTemplate || tag >= MaxTag {
+			return ErrCorrupt
+		}
+		f.Queries = append(f.Queries, Query{Template: tpl, Tag: tag})
+	}
+	return c.done()
+}
+
+func decodeAck(c *cursor, f *Frame) error {
+	var err error
+	if f.Seq, err = c.u32(); err != nil {
+		return err
+	}
+	if f.Accepted, err = c.u16(); err != nil {
+		return err
+	}
+	if f.Shed, err = c.u16(); err != nil {
+		return err
+	}
+	d, err := c.u8()
+	if err != nil {
+		return err
+	}
+	if d > 1 {
+		return ErrCorrupt
+	}
+	f.Draining = d == 1
+	return c.done()
+}
+
+func decodeResult(c *cursor, f *Frame) error {
+	var err error
+	if f.Cost, err = c.f64(); err != nil {
+		return err
+	}
+	if f.Penalty, err = c.f64(); err != nil {
+		return err
+	}
+	if f.Completed, err = c.u32(); err != nil {
+		return err
+	}
+	if f.ShedTotal, err = c.u32(); err != nil {
+		return err
+	}
+	if f.VMs, err = c.u32(); err != nil {
+		return err
+	}
+	if f.Epoch, err = c.u64(); err != nil {
+		return err
+	}
+	d, err := c.u8()
+	if err != nil {
+		return err
+	}
+	if d > 1 {
+		return ErrCorrupt
+	}
+	f.Draining = d == 1
+	return c.done()
+}
+
+func decodeError(c *cursor, f *Frame) error {
+	var err error
+	if f.Message, err = c.str(2, MaxMessage); err != nil {
+		return err
+	}
+	return c.done()
+}
+
+// ReadFrame reads one length-prefixed frame from r into buf, decodes
+// it into f, and returns the (possibly grown) buffer for reuse. The
+// length prefix is validated against MaxBody before any body bytes are
+// read, so a hostile prefix cannot drive a large allocation.
+func ReadFrame(r io.Reader, buf []byte, f *Frame) ([]byte, error) {
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > MaxBody {
+		return buf, ErrTooLarge
+	}
+	if n == 0 {
+		return buf, ErrTruncated
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, err
+	}
+	return buf, Decode(body, f)
+}
+
+// --- Encoders -----------------------------------------------------------
+//
+// All encoders append a complete frame (length prefix included) to dst
+// and return the extended slice, so a caller-owned buffer can be
+// recycled across frames: dst = wire.AppendAck(dst[:0], ...).
+
+// beginFrame appends the length placeholder plus the type byte and
+// returns the offset of the placeholder.
+func beginFrame(dst []byte, typ Type) ([]byte, int) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(typ))
+	return dst, start
+}
+
+// endFrame patches the length prefix of the frame begun at start.
+func endFrame(dst []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	dst = appendU32(dst, uint32(v))
+	return appendU32(dst, uint32(v>>32))
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendHello appends a Hello frame. Registry and tenant must fit in
+// MaxName bytes.
+func AppendHello(dst []byte, clock uint8, registry, tenant string) ([]byte, error) {
+	if len(registry) > MaxName || len(tenant) > MaxName {
+		return dst, fmt.Errorf("%w: name exceeds %d bytes", ErrCorrupt, MaxName)
+	}
+	if clock != ClockWall && clock != ClockVirtual {
+		return dst, fmt.Errorf("%w: bad clock mode %d", ErrCorrupt, clock)
+	}
+	dst, start := beginFrame(dst, TypeHello)
+	dst = append(dst, Version, clock, byte(len(registry)))
+	dst = append(dst, registry...)
+	dst = append(dst, byte(len(tenant)))
+	dst = append(dst, tenant...)
+	return endFrame(dst, start), nil
+}
+
+// AppendWelcome appends a Welcome frame.
+func AppendWelcome(dst []byte, templates, maxBatch uint32) []byte {
+	dst, start := beginFrame(dst, TypeWelcome)
+	dst = append(dst, Version)
+	dst = appendU32(dst, templates)
+	dst = appendU32(dst, maxBatch)
+	return endFrame(dst, start)
+}
+
+// AppendSubmit appends a Submit frame. The batch must be non-empty,
+// at most MaxBatch long, and every query must respect the protocol
+// bounds; violations are reported before anything is sent.
+func AppendSubmit(dst []byte, seq uint32, arrivalMicros, deadlineMicros int64, queries []Query) ([]byte, error) {
+	if len(queries) == 0 || len(queries) > MaxBatch {
+		return dst, fmt.Errorf("%w: batch of %d (max %d)", ErrCorrupt, len(queries), MaxBatch)
+	}
+	if arrivalMicros < 0 || deadlineMicros < 0 {
+		return dst, fmt.Errorf("%w: negative time field", ErrCorrupt)
+	}
+	for _, q := range queries {
+		if q.Template >= MaxTemplate || q.Tag >= MaxTag {
+			return dst, fmt.Errorf("%w: query (template=%d tag=%d) out of bounds", ErrCorrupt, q.Template, q.Tag)
+		}
+	}
+	dst, start := beginFrame(dst, TypeSubmit)
+	dst = appendU32(dst, seq)
+	dst = appendU64(dst, uint64(arrivalMicros))
+	dst = appendU64(dst, uint64(deadlineMicros))
+	dst = appendU16(dst, uint16(len(queries)))
+	for _, q := range queries {
+		dst = appendU32(dst, q.Template)
+		dst = appendU32(dst, q.Tag)
+	}
+	return endFrame(dst, start), nil
+}
+
+// AppendAck appends an Ack frame.
+func AppendAck(dst []byte, seq uint32, accepted, shed uint16, draining bool) []byte {
+	dst, start := beginFrame(dst, TypeAck)
+	dst = appendU32(dst, seq)
+	dst = appendU16(dst, accepted)
+	dst = appendU16(dst, shed)
+	dst = appendBool(dst, draining)
+	return endFrame(dst, start)
+}
+
+// AppendFinish appends a Finish frame.
+func AppendFinish(dst []byte) []byte {
+	dst, start := beginFrame(dst, TypeFinish)
+	return endFrame(dst, start)
+}
+
+// AppendResult appends a Result frame.
+func AppendResult(dst []byte, cost, penalty float64, completed, shed, vms uint32, epoch uint64, draining bool) []byte {
+	dst, start := beginFrame(dst, TypeResult)
+	dst = appendU64(dst, toBits(cost))
+	dst = appendU64(dst, toBits(penalty))
+	dst = appendU32(dst, completed)
+	dst = appendU32(dst, shed)
+	dst = appendU32(dst, vms)
+	dst = appendU64(dst, epoch)
+	dst = appendBool(dst, draining)
+	return endFrame(dst, start)
+}
+
+// AppendError appends an Error frame, truncating the message to
+// MaxMessage bytes.
+func AppendError(dst []byte, msg string) []byte {
+	if len(msg) > MaxMessage {
+		msg = msg[:MaxMessage]
+	}
+	dst, start := beginFrame(dst, TypeError)
+	dst = appendU16(dst, uint16(len(msg)))
+	dst = append(dst, msg...)
+	return endFrame(dst, start)
+}

@@ -1,0 +1,238 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"wisedb/internal/wire"
+)
+
+// frames returns one valid encoded frame of every type.
+func frames(t testing.TB) map[string][]byte {
+	t.Helper()
+	hello, err := wire.AppendHello(nil, wire.ClockVirtual, "default", "tenant-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit, err := wire.AppendSubmit(nil, 7, 1_000_000, 250_000, []wire.Query{
+		{Template: 0, Tag: 3}, {Template: 5, Tag: 0}, {Template: 2, Tag: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		"hello":   hello,
+		"welcome": wire.AppendWelcome(nil, 10, 256),
+		"submit":  submit,
+		"ack":     wire.AppendAck(nil, 7, 2, 1, true),
+		"finish":  wire.AppendFinish(nil),
+		"result":  wire.AppendResult(nil, 12.5, 3.25, 100, 4, 9, 42, false),
+		"error":   wire.AppendError(nil, "too many connections"),
+	}
+}
+
+func TestRoundTripAllFrameTypes(t *testing.T) {
+	var f wire.Frame
+	for name, enc := range frames(t) {
+		var err error
+		buf, err := readOne(enc, nil, &f)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		_ = buf
+		switch name {
+		case "hello":
+			if f.Type != wire.TypeHello || f.Registry != "default" || f.Tenant != "tenant-0" || f.Clock != wire.ClockVirtual {
+				t.Fatalf("hello mismatch: %+v", f)
+			}
+		case "welcome":
+			if f.Type != wire.TypeWelcome || f.Templates != 10 || f.MaxBatch != 256 {
+				t.Fatalf("welcome mismatch: %+v", f)
+			}
+		case "submit":
+			if f.Type != wire.TypeSubmit || f.Seq != 7 || f.ArrivalMicros != 1_000_000 || f.DeadlineMicros != 250_000 {
+				t.Fatalf("submit mismatch: %+v", f)
+			}
+			want := []wire.Query{{0, 3}, {5, 0}, {2, 9}}
+			if len(f.Queries) != len(want) {
+				t.Fatalf("submit queries: got %v", f.Queries)
+			}
+			for i := range want {
+				if f.Queries[i] != want[i] {
+					t.Fatalf("query %d: got %+v want %+v", i, f.Queries[i], want[i])
+				}
+			}
+		case "ack":
+			if f.Type != wire.TypeAck || f.Seq != 7 || f.Accepted != 2 || f.Shed != 1 || !f.Draining {
+				t.Fatalf("ack mismatch: %+v", f)
+			}
+		case "finish":
+			if f.Type != wire.TypeFinish {
+				t.Fatalf("finish mismatch: %+v", f)
+			}
+		case "result":
+			if f.Type != wire.TypeResult || f.Cost != 12.5 || f.Penalty != 3.25 ||
+				f.Completed != 100 || f.ShedTotal != 4 || f.VMs != 9 || f.Epoch != 42 || f.Draining {
+				t.Fatalf("result mismatch: %+v", f)
+			}
+		case "error":
+			if f.Type != wire.TypeError || f.Message != "too many connections" {
+				t.Fatalf("error mismatch: %+v", f)
+			}
+		}
+	}
+}
+
+// readOne decodes a single encoded frame via ReadFrame.
+func readOne(enc, buf []byte, f *wire.Frame) ([]byte, error) {
+	return wire.ReadFrame(bytes.NewReader(enc), buf, f)
+}
+
+// The Frame and read buffer are meant to be recycled across frames:
+// after a warm-up decode, further decodes of the hot-path frames
+// (Submit in, Ack out) must not allocate.
+func TestDecodeSubmitAllocFree(t *testing.T) {
+	enc, err := wire.AppendSubmit(nil, 1, 5_000_000, 0, []wire.Query{
+		{Template: 1, Tag: 0}, {Template: 0, Tag: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f wire.Frame
+	buf := make([]byte, 0, 512)
+	r := bytes.NewReader(enc)
+	out := make([]byte, 0, 64)
+	if buf, err = wire.ReadFrame(r, buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(enc)
+		var err error
+		buf, err = wire.ReadFrame(r, buf, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = wire.AppendAck(out[:0], f.Seq, uint16(len(f.Queries)), 0, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("decode+ack path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestDecodeRejectsHostileFrames(t *testing.T) {
+	submit, err := wire.AppendSubmit(nil, 1, 0, 0, []wire.Query{{Template: 1, Tag: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func() []byte
+		want error
+	}{
+		{"empty body", func() []byte { return []byte{0, 0, 0, 0} }, wire.ErrTruncated},
+		{"unknown type", func() []byte { return []byte{1, 0, 0, 0, 0xEE} }, wire.ErrUnknownType},
+		{"oversize prefix", func() []byte {
+			return []byte{0xFF, 0xFF, 0xFF, 0x7F, byte(wire.TypeFinish)}
+		}, wire.ErrTooLarge},
+		{"truncated submit", func() []byte {
+			b := append([]byte(nil), submit...)
+			b[0] -= 4 // shrink declared length below the fields present
+			return b[:len(b)-4]
+		}, wire.ErrTruncated},
+		{"trailing garbage", func() []byte {
+			b := append([]byte(nil), submit...)
+			b = append(b[:len(b)], 0xAA)
+			b[0] += 1
+			return b
+		}, wire.ErrCorrupt},
+		{"bad hello version", func() []byte {
+			h, _ := wire.AppendHello(nil, wire.ClockWall, "r", "t")
+			h[5] = 99 // version byte
+			return h
+		}, wire.ErrVersion},
+	}
+	for _, tc := range cases {
+		var f wire.Frame
+		_, err := readOne(tc.mut(), nil, &f)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeSubmitBounds(t *testing.T) {
+	if _, err := wire.AppendSubmit(nil, 0, 0, 0, nil); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("empty batch: got %v", err)
+	}
+	if _, err := wire.AppendSubmit(nil, 0, 0, 0, []wire.Query{{Template: wire.MaxTemplate, Tag: 0}}); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("template bound: got %v", err)
+	}
+	if _, err := wire.AppendSubmit(nil, 0, 0, 0, []wire.Query{{Template: 0, Tag: wire.MaxTag}}); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("tag bound: got %v", err)
+	}
+	if _, err := wire.AppendSubmit(nil, 0, -1, 0, []wire.Query{{Template: 1, Tag: 1}}); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("negative arrival: got %v", err)
+	}
+	// A decoded frame claiming a huge batch over a short body must fail
+	// with a typed error before allocating for the claim.
+	enc, err := wire.AppendSubmit(nil, 0, 0, 0, []wire.Query{{Template: 1, Tag: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the count field (offset: 4 len + 1 type + 4 seq + 8 + 8 = 25).
+	enc[25] = 0xFF
+	enc[26] = 0x0F
+	var f wire.Frame
+	if _, err := readOne(enc, nil, &f); !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("hostile count: got %v", err)
+	}
+}
+
+func TestReadFramePartialStream(t *testing.T) {
+	enc := wire.AppendAck(nil, 1, 1, 0, false)
+	var f wire.Frame
+	for cut := 1; cut < len(enc); cut++ {
+		_, err := wire.ReadFrame(bytes.NewReader(enc[:cut]), nil, &f)
+		if err == nil {
+			t.Fatalf("cut=%d: want error", cut)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, io.EOF) {
+			t.Fatalf("cut=%d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+// Multiple frames back-to-back on one reader decode in sequence with a
+// shared buffer, the way a connection handler consumes them.
+func TestReadFrameSequence(t *testing.T) {
+	var streamBuf []byte
+	s1, err := wire.AppendSubmit(nil, 1, 0, 0, []wire.Query{{Template: 1, Tag: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamBuf = append(streamBuf, s1...)
+	s2, err := wire.AppendSubmit(nil, 2, 10, 0, []wire.Query{{Template: 2, Tag: 2}, {Template: 3, Tag: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamBuf = append(streamBuf, s2...)
+	streamBuf = append(streamBuf, wire.AppendFinish(nil)...)
+
+	r := bytes.NewReader(streamBuf)
+	var f wire.Frame
+	var buf []byte
+	for i, want := range []wire.Type{wire.TypeSubmit, wire.TypeSubmit, wire.TypeFinish} {
+		buf, err = wire.ReadFrame(r, buf, &f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != want {
+			t.Fatalf("frame %d: got type %d want %d", i, f.Type, want)
+		}
+	}
+	if _, err := wire.ReadFrame(r, buf, &f); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}

@@ -50,8 +50,10 @@ import (
 	"wisedb/internal/cloud"
 	"wisedb/internal/core"
 	"wisedb/internal/schedule"
+	"wisedb/internal/server"
 	"wisedb/internal/sla"
 	"wisedb/internal/store"
+	"wisedb/internal/wire"
 	"wisedb/internal/workload"
 )
 
@@ -118,8 +120,41 @@ type (
 	RobustnessStats = core.RobustnessStats
 	// ChaosSpec describes one seeded chaos scenario across the serving
 	// stack's failure domains (VM faults, retrain failures, flaky
-	// checkpoint writes).
+	// checkpoint writes, dropped/stalled connections).
 	ChaosSpec = chaos.Spec
+	// NetFaultSpec configures dropped and stalled connections at the
+	// serving daemon's listener (ChaosSpec.Net + WrapListener).
+	NetFaultSpec = chaos.NetFaultSpec
+)
+
+// Network serving types: the wisedb daemon and its client.
+type (
+	// ServerConfig configures the overload-safe serving daemon:
+	// listener, HTTP sidecar, connection cap, timeouts, token-bucket
+	// admission, default placement deadline, drain grace.
+	ServerConfig = server.Config
+	// Server is the TCP serving daemon (New/Start/Shutdown).
+	Server = server.Server
+	// ServerStats snapshots the daemon's ingress counters plus the
+	// engine's ScaleStats.
+	ServerStats = server.Stats
+	// ClientOptions configures a daemon client connection.
+	ClientOptions = server.Options
+	// Client is one pipelined connection to the daemon — one tenant
+	// stream (Send/Flush/ReadAck, or the synchronous Submit).
+	Client = server.Client
+	// ClientResult is a stream's final accounting over the wire.
+	ClientResult = server.Result
+	// WireQuery is one query reference inside a Submit frame.
+	WireQuery = wire.Query
+)
+
+// Wire clock modes for ClientOptions.Clock: wall time (the server
+// stamps arrivals) or virtual time (the client's arrival instants drive
+// the stream clock — replay and load-generation mode).
+const (
+	ClockWall    = wire.ClockWall
+	ClockVirtual = wire.ClockVirtual
 )
 
 // Durable model persistence types.
@@ -243,6 +278,11 @@ var (
 	// FlakyPayloadWriter fails the first k model-store payload writes
 	// with ErrInjected, then writes atomically.
 	FlakyPayloadWriter = chaos.FlakyPayloadWriter
+	// NewServer validates a config and returns an unstarted daemon.
+	NewServer = server.New
+	// DialServer connects a client to the daemon with jittered-backoff
+	// retries.
+	DialServer = server.Dial
 
 	// SaveModel atomically writes a model's versioned binary encoding;
 	// LoadModel reads one back, serving-ready with zero training
