@@ -538,7 +538,7 @@ func inspect(path string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s: WiSeDB model container v%d, %d bytes, hash %016x\n", path, wisedb.ModelFormatVersion, len(data), info.Hash)
+	fmt.Printf("%s: WiSeDB model container v%d, %d bytes, hash %016x\n", path, info.FormatVersion, len(data), info.Hash)
 	var parts []string
 	for _, s := range info.Sections {
 		parts = append(parts, fmt.Sprintf("%s %s", wisedb.ModelSectionName(s.ID), formatBytes(s.Len)))
@@ -549,8 +549,11 @@ func inspect(path string) {
 	fmt.Printf("trained: N=%d m=%d seed=%d in %s -> %d rows; search cache %d hits / %d misses\n",
 		cfg.NumSamples, cfg.SampleSize, cfg.Seed, info.TrainingTime.Round(time.Millisecond),
 		info.TrainingRows, info.CacheHits, info.CacheMisses)
-	fmt.Printf("environment: %d templates x %d VM types; training data retained: %v\n",
-		len(info.Templates), len(info.VMTypes), info.HasTrainingData)
+	if info.WarmSamples > 0 {
+		fmt.Printf("warm retrain: %d samples replayed, %d solved fresh\n", info.WarmSamples, info.ColdSamples)
+	}
+	fmt.Printf("environment: %d templates x %d VM types; training data retained: %v; search cache persisted: %v\n",
+		len(info.Templates), len(info.VMTypes), info.HasTrainingData, info.HasSearchCache)
 	mix := info.Mix
 	if mix == nil {
 		fmt.Println("training mix: uniform")
@@ -590,14 +593,27 @@ func inspectStore(dir string) {
 	if len(entries) == 0 {
 		return
 	}
-	fmt.Printf("%7s %7s %-7s %8s %10s %-20s %s\n", "epoch", "parent", "reason", "emd", "size", "saved-at", "model-hash")
+	fmt.Printf("%7s %7s %-7s %8s %10s %7s %5s %6s %-20s %s\n",
+		"epoch", "parent", "reason", "emd", "size", "retrain", "warm", "cache", "saved-at", "model-hash")
 	for _, e := range entries {
 		emd := "-"
 		if e.EMD > 0 {
 			emd = fmt.Sprintf("%.3f", e.EMD)
 		}
-		fmt.Printf("%7d %7d %-7s %8s %10s %-20s %016x\n",
-			e.Epoch, e.Parent, e.Reason, emd, formatBytes(int(e.Size)),
+		// Retrain cost and warm-reuse columns are recorded by drift
+		// retrains only; base/manual/drain epochs show "-".
+		retrain, warm, cache := "-", "-", "-"
+		if e.RetrainMS > 0 {
+			retrain = fmt.Sprintf("%dms", e.RetrainMS)
+		}
+		if e.WarmSamples+e.ColdSamples > 0 {
+			warm = fmt.Sprintf("%d/%d", e.WarmSamples, e.WarmSamples+e.ColdSamples)
+		}
+		if total := e.CacheHits + e.CacheMisses; total > 0 {
+			cache = fmt.Sprintf("%.0f%%", 100*float64(e.CacheHits)/float64(total))
+		}
+		fmt.Printf("%7d %7d %-7s %8s %10s %7s %5s %6s %-20s %016x\n",
+			e.Epoch, e.Parent, e.Reason, emd, formatBytes(int(e.Size)), retrain, warm, cache,
 			e.SavedAt.Format("2006-01-02T15:04:05Z"), e.ModelHash)
 	}
 }

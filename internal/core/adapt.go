@@ -94,9 +94,14 @@ func (m *Model) adapt(ctx context.Context, goal sla.Goal, keep bool) (*Model, er
 		TrainingRows:      ds.Len(),
 		TrainingConfig:    m.TrainingConfig,
 		TrainingCacheHits: cacheHits, TrainingCacheMisses: cacheMisses,
-		env:     m.env,
-		prob:    runtimeProblem(m.env, goal),
-		samples: samples,
+		// Adaptation re-solves every retained sample (the goal changed, so no
+		// prior solution is reusable as-is); the §5 heuristic reuse is an
+		// accelerant, not a replay, hence all samples count as cold.
+		ColdSamples: len(m.samples),
+		env:         m.env,
+		prob:        runtimeProblem(m.env, goal),
+		samples:     samples,
+		searchCache: cache,
 		// Adaptation re-solves the same sample workloads, so the adapted
 		// model serves the same arrival mix.
 		trainingMix: m.trainingMix,

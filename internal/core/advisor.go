@@ -181,6 +181,18 @@ func (a *Advisor) Config() TrainConfig { return a.cfg }
 type trainSample struct {
 	w     *workload.Workload
 	reuse *search.Reuse
+	// actions is the sample's exact optimal schedule — the canonical
+	// search result for (w, goal, env). A warm retrain replays it
+	// verbatim for samples whose draw is unchanged, skipping the search
+	// entirely (see WarmTrain). Nil for samples decoded from v1 files,
+	// which fall back to reuse-assisted re-search.
+	actions []graph.Action
+	// variates holds the unit variates the sample's weighted draw
+	// consumed, one per query. A warm retrain with the same seed and
+	// sample size rebins them under the drifted mix
+	// (workload.WeightedFromVariates) instead of reconstructing and
+	// reseeding a sampler per sample. Nil for uniform draws and v1 files.
+	variates []float64
 }
 
 // Model is a trained workload-management strategy (§4.5): a decision tree
@@ -207,10 +219,21 @@ type Model struct {
 	// transposition-cache lookups of the sample searches that built this
 	// model (both zero when the cache was disabled or inapplicable).
 	TrainingCacheHits, TrainingCacheMisses int
+	// WarmSamples and ColdSamples split the training run's sample
+	// workloads into warm replays (reused from a prior epoch by
+	// WarmRetrain) and fresh exact solves. A cold Train reports all
+	// samples cold.
+	WarmSamples, ColdSamples int
 
 	env     *schedule.Env
 	prob    *graph.Problem
 	samples []trainSample
+	// searchCache is the training run's transposition cache (nil when
+	// disabled or inapplicable): the solved suffix subproblems of the
+	// sample searches. WarmRetrain seeds the next epoch's searches from
+	// it, and persistence snapshots it so warm-started registries retrain
+	// warm. Immutable after training, like the rest of the model.
+	searchCache *search.TranspositionCache
 	// trainingMix is the normalized template distribution the sample
 	// workloads were drawn from: uniform unless the model was trained with
 	// SampleWeights (drift-adapted models target the observed arrival
@@ -281,13 +304,41 @@ func (a *Advisor) Train(goal sla.Goal) (*Model, error) {
 // exactly solved search result, buffered per index so the fold into the
 // training set happens in sample order regardless of completion order.
 type sampleSolution struct {
-	w   *workload.Workload
-	res *search.Result
+	w        *workload.Workload
+	res      *search.Result
+	variates []float64
 }
 
 // TrainContext is Train with cancellation: ctx aborts the remaining sample
 // searches and returns ctx.Err().
 func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, error) {
+	// The transposition cache is scoped to this call: suffix optima are
+	// goal-specific, and a per-call cache keeps sequences of Train/Adapt
+	// calls deterministic regardless of what ran before them. (A warm
+	// retrain instead clones the prior epoch's cache — see WarmTrain —
+	// which the canonical-search invariant makes equally deterministic.)
+	var cache *search.TranspositionCache
+	if !a.cfg.DisableSearchCache && goal.Monotonic() {
+		cache = search.NewTranspositionCache()
+	}
+	return a.trainPipeline(ctx, goal, cache, nil)
+}
+
+// trainPipeline is the sample-generation / exact-search / dataset-fold /
+// tree-fit pipeline shared by cold training and warm retraining. The N
+// sample searches run on the worker pool; solved generations stream into
+// the decision-tree dataset through solveSamplesFold's pipelined fold, so
+// dataset building overlaps the remaining searches instead of waiting for
+// all of them. ws, when non-nil, carries the prior epoch's retained
+// searches (the warm path): a sample whose draw is unchanged replays its
+// stored action path verbatim in O(path) instead of searching, falling
+// back to a §5 reuse-assisted re-search when no path was retained (v1
+// files) and to a cold solve when the replay rejects. Canonical search
+// (see search's solver) makes the stored path exactly what today's search
+// would return, and replay regenerates the same Path steps and cache
+// records buildPath would — so the trained model is bit-identical whether
+// samples replay warm or solve cold, at any Parallelism.
+func (a *Advisor) trainPipeline(ctx context.Context, goal sla.Goal, cache *search.TranspositionCache, ws *warmSource) (*Model, error) {
 	start := time.Now()
 	prob := graph.NewProblem(a.env, goal)
 	// The canonical-VM-ordering reduction fragments state merging more
@@ -300,52 +351,109 @@ func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, erro
 		return nil, fmt.Errorf("core: training: %w", err)
 	}
 
-	// The transposition cache is scoped to this call: suffix optima are
-	// goal-specific, and a per-call cache keeps sequences of Train/Adapt
-	// calls deterministic regardless of what ran before them.
-	var cache *search.TranspositionCache
-	if !a.cfg.DisableSearchCache && goal.Monotonic() {
-		cache = search.NewTranspositionCache()
-	}
 	solutions := make([]sampleSolution, a.cfg.NumSamples)
-	err = solveSamples(ctx, a.cfg.Parallelism, a.cfg.NumSamples, cache,
-		func(i int, cache *search.TranspositionCache, rec *search.PendingSuffixes) error {
-			sampler := workload.NewSampler(a.env.Templates, deriveSeed(a.cfg.Seed, i))
-			var w *workload.Workload
-			if a.cfg.SampleWeights != nil {
-				w = sampler.Weighted(a.cfg.SampleSize, a.cfg.SampleWeights)
-			} else {
-				w = sampler.Uniform(a.cfg.SampleSize)
-			}
-			res, err := searcher.Solve(w, search.Options{
-				MaxExpansions: a.cfg.MaxExpansions,
-				KeepClosed:    a.cfg.KeepTrainingData,
-				Cache:         cache,
-				Record:        rec,
-			})
-			if err != nil {
-				return fmt.Errorf("core: training sample %d: %w", i, err)
-			}
-			solutions[i] = sampleSolution{w: w, res: res}
-			return nil
-		})
-	if err != nil {
-		return nil, err
-	}
-
+	warmed := make([]bool, a.cfg.NumSamples)
+	priors := make([]*trainSample, a.cfg.NumSamples)
 	numLabels := len(a.env.Templates) + len(a.env.VMTypes)
 	ds := &dt.Dataset{FeatureNames: features.Names(len(a.env.Templates)), NumLabels: numLabels}
 	fs := features.NewState(prob)
 	var samples []trainSample
-	cacheHits, cacheMisses := 0, 0
-	for _, sol := range solutions {
-		addPathToDataset(ds, fs, sol.res.Path)
-		cacheHits += sol.res.CacheHits
-		cacheMisses += sol.res.CacheMisses
-		if a.cfg.KeepTrainingData {
-			samples = append(samples, trainSample{w: sol.w, reuse: search.ReuseFrom(sol.res)})
+	cacheHits, cacheMisses, warm := 0, 0, 0
+	fold := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			sol := solutions[i]
+			addPathToDataset(ds, fs, sol.res.Path)
+			cacheHits += sol.res.CacheHits
+			cacheMisses += sol.res.CacheMisses
+			if warmed[i] {
+				warm++
+			}
+			if a.cfg.KeepTrainingData {
+				ts := trainSample{w: sol.w, actions: sol.res.Actions, variates: sol.variates}
+				if sol.res.Closed != nil {
+					ts.reuse = search.ReuseFrom(sol.res)
+				} else if p := priors[i]; p != nil {
+					// Replayed sample: no search ran, so no Closed set was
+					// built. The prior epoch's reuse is still exact for this
+					// (workload, goal) and Closed sets are immutable, so the
+					// next epoch inherits it unchanged.
+					ts.reuse = p.reuse
+				}
+				samples = append(samples, ts)
+			}
+			solutions[i] = sampleSolution{} // folded; free the search result early
 		}
+		return nil
 	}
+	err = solveSamplesFold(ctx, a.cfg.Parallelism, a.cfg.NumSamples, cache,
+		func(i int, cache *search.TranspositionCache, rec *search.PendingSuffixes) error {
+			var prior *trainSample
+			if ws != nil && i < len(ws.samples) {
+				prior = &ws.samples[i]
+			}
+			var w *workload.Workload
+			var variates []float64
+			switch {
+			case a.cfg.SampleWeights != nil && ws != nil && ws.useVariates &&
+				prior != nil && len(prior.variates) == a.cfg.SampleSize:
+				// Same seed and size: the prior epoch's variates ARE this
+				// epoch's draws — rebin them under the drifted mix instead
+				// of reconstructing (and expensively reseeding) a sampler.
+				variates = prior.variates
+				w = workload.WeightedFromVariates(a.env.Templates, variates, a.cfg.SampleWeights)
+			case a.cfg.SampleWeights != nil:
+				sampler := workload.NewSampler(a.env.Templates, deriveSeed(a.cfg.Seed, i))
+				w, variates = sampler.WeightedVariates(a.cfg.SampleSize, a.cfg.SampleWeights)
+			default:
+				sampler := workload.NewSampler(a.env.Templates, deriveSeed(a.cfg.Seed, i))
+				w = sampler.Uniform(a.cfg.SampleSize)
+			}
+			if prior != nil && (prior.reuse == nil || !sameQueries(w, prior.w)) {
+				prior = nil
+			}
+			var res *search.Result
+			if prior != nil && len(prior.actions) > 0 {
+				// Unchanged draw with a retained path: replay it instead of
+				// searching. buildPath validates the walk (goal reached,
+				// cost matches) before recording anything, so a rejected
+				// replay — a stale or corrupted prior — leaves the cache
+				// untouched and the sample simply solves cold below.
+				r, rErr := searcher.Replay(w, prior.actions, prior.reuse.OldCost, rec)
+				if rErr == nil {
+					res = r
+				} else {
+					prior = nil
+				}
+			}
+			warmed[i] = prior != nil
+			priors[i] = prior
+			if res == nil {
+				var reuse *search.Reuse
+				if prior != nil {
+					// Retained sample without a stored path (decoded from a
+					// v1 file): re-search with the §5 adaptive-A* bound,
+					// which collapses the search to a near-replay.
+					reuse = prior.reuse
+				}
+				var err error
+				res, err = searcher.Solve(w, search.Options{
+					MaxExpansions: a.cfg.MaxExpansions,
+					KeepClosed:    a.cfg.KeepTrainingData,
+					Cache:         cache,
+					Record:        rec,
+					Reuse:         reuse,
+				})
+				if err != nil {
+					return fmt.Errorf("core: training sample %d: %w", i, err)
+				}
+			}
+			solutions[i] = sampleSolution{w: w, res: res, variates: variates}
+			return nil
+		}, fold)
+	if err != nil {
+		return nil, err
+	}
+
 	tree := dt.Train(ds, a.cfg.Tree)
 	m := &Model{
 		Goal:              goal,
@@ -354,9 +462,12 @@ func (a *Advisor) TrainContext(ctx context.Context, goal sla.Goal) (*Model, erro
 		TrainingRows:      ds.Len(),
 		TrainingConfig:    a.cfg,
 		TrainingCacheHits: cacheHits, TrainingCacheMisses: cacheMisses,
+		WarmSamples: warm,
+		ColdSamples: a.cfg.NumSamples - warm,
 		env:         a.env,
 		prob:        runtimeProblem(a.env, goal),
 		samples:     samples,
+		searchCache: cache,
 		trainingMix: normalizedMix(a.cfg.SampleWeights, len(a.env.Templates)),
 	}
 	m.servingTables() // compile the serving form at train time
@@ -375,16 +486,21 @@ func runtimeProblem(env *schedule.Env, goal sla.Goal) *graph.Problem {
 }
 
 // addPathToDataset converts each decision on an optimal path into a
-// (features, action-label) training instance. The caller-owned feature
-// state is reused across paths; each row still gets its own vector, which
-// the dataset retains.
+// (features, action-label) training instance, ingested as one batch per
+// path (dt.Ingest is defined as Add row by row, so batching changes
+// nothing about the dataset). The caller-owned feature state is reused
+// across paths; each row still gets its own vector, which the dataset
+// retains.
 func addPathToDataset(ds *dt.Dataset, fs *features.State, path []search.Step) {
 	k := fs.NumTemplates()
+	x := make([][]float64, 0, len(path))
+	y := make([]int, 0, len(path))
 	for _, step := range path {
 		fs.Reset(step.State)
-		row := fs.AppendTo(make([]float64, 0, features.VectorLen(k)), step.State)
-		ds.Add(row, step.Action.Label(k))
+		x = append(x, fs.AppendTo(make([]float64, 0, features.VectorLen(k)), step.State))
+		y = append(y, step.Action.Label(k))
 	}
+	ds.Ingest(x, y)
 }
 
 // ActionName renders an action label for model dumps.

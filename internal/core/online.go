@@ -411,6 +411,14 @@ type ScaleStats struct {
 	// DeadlineMisses aggregates arrival events whose per-event deadline
 	// expired during model acquisition (served degraded, not aborted).
 	DeadlineMisses int64
+	// TotalRetrainMS sums successful drift-retrain wall times across every
+	// registry; LastRetrainMS is the slowest registry's most recent one.
+	TotalRetrainMS, LastRetrainMS int64
+	// WarmSamples/ColdSamples and RetrainCacheHits/Misses aggregate the
+	// warm-retrain reuse counters (see RegistryStats) across every
+	// registry.
+	WarmSamples, ColdSamples             int64
+	RetrainCacheHits, RetrainCacheMisses int64
 	// Robustness aggregates every registry's retry-discipline counters;
 	// its Breaker field reports the most degraded breaker position.
 	Robustness RobustnessStats
@@ -435,7 +443,16 @@ func (o *OnlineScheduler) ScaleStats() ScaleStats {
 	s.DeadlineMisses = o.deadlineMisses.Load()
 	o.regMu.RLock()
 	for _, r := range o.regList {
-		s.Robustness.merge(r.Robustness())
+		rs := r.Stats()
+		s.TotalRetrainMS += rs.TotalRetrainMS
+		if rs.LastRetrainMS > s.LastRetrainMS {
+			s.LastRetrainMS = rs.LastRetrainMS
+		}
+		s.WarmSamples += rs.WarmSamples
+		s.ColdSamples += rs.ColdSamples
+		s.RetrainCacheHits += rs.RetrainCacheHits
+		s.RetrainCacheMisses += rs.RetrainCacheMisses
+		s.Robustness.merge(rs.Robustness)
 	}
 	o.regMu.RUnlock()
 	return s

@@ -11,6 +11,7 @@ import (
 	"wisedb/internal/cloud"
 	"wisedb/internal/dt"
 	"wisedb/internal/features"
+	"wisedb/internal/graph"
 	"wisedb/internal/schedule"
 	"wisedb/internal/search"
 	"wisedb/internal/sla"
@@ -34,6 +35,9 @@ import (
 //	secTrain     retained training data (optional): each sample workload
 //	             plus its adaptive-A* closed set, so Shift/Adapt produce
 //	             bit-identical models after a warm start
+//	secCache     the transposition cache's solved suffix subproblems
+//	             (optional, format v2+): a canonical signature-sorted
+//	             snapshot, so a warm-started registry retrains warm
 //
 // Every section is independently checksummed, so `wisedb inspect` reads
 // provenance, goal, and mix without paying for — or trusting — the tree
@@ -44,9 +48,16 @@ import (
 //
 // The content hash is FNV-1a(64) over the goal, env, mix, and tree section
 // payloads — everything that determines serving behavior, nothing that
-// records how training was scheduled — so two models trained at different
-// Parallelism (bit-identical by the training determinism pin) hash equal,
-// and the hash audits model identity across checkpoints and restarts.
+// records how training was scheduled or accelerated — so two models trained
+// at different Parallelism (bit-identical by the training determinism pin)
+// hash equal, a warm retrain hashes equal to the cold retrain it must
+// reproduce (their Closed exploration sets legitimately differ; their trees
+// cannot), and the hash audits model identity across checkpoints and
+// restarts. The auxiliary hash covers the training-data and cache payloads,
+// preserving v1's cross-section tampering check for the sections the
+// content hash no longer sees. Format v1 files carry a single hash over all
+// five payloads; the decoder verifies whichever rule matches the container
+// version.
 const (
 	secMeta  uint32 = 1
 	secGoal  uint32 = 2
@@ -54,7 +65,14 @@ const (
 	secMix   uint32 = 4
 	secTree  uint32 = 5
 	secTrain uint32 = 6
+	secCache uint32 = 7
 )
+
+// maxPersistedCacheEntries caps the cache section: Export truncates to the
+// signature-sorted prefix, so the persisted snapshot stays a pure function
+// of the cache contents while bounding checkpoint size (an entry is tens of
+// bytes; the cap keeps the section low single-digit MB at worst).
+const maxPersistedCacheEntries = 1 << 16
 
 // Goal family tags of secGoal.
 const (
@@ -98,23 +116,37 @@ func encodeModel(m *Model) ([]byte, uint64, error) {
 			return nil, 0, err
 		}
 	}
+	var cachePayload []byte
+	if m.searchCache != nil {
+		if entries := m.searchCache.Export(maxPersistedCacheEntries); len(entries) > 0 {
+			cachePayload = encodeCacheData(entries)
+		}
+	}
 
+	// Content hash: serving behavior only. Training data and the search
+	// cache are covered by the auxiliary hash — see the codec comment.
 	h := fnv.New64a()
 	h.Write(goalPayload)
 	h.Write(envPayload)
 	h.Write(mixPayload)
 	h.Write(treePayload)
-	h.Write(trainPayload) // nil when no training data: hashes as absent
 	hash := h.Sum64()
+	ah := fnv.New64a()
+	ah.Write(trainPayload) // nil when absent: hashes as absent
+	ah.Write(cachePayload)
+	auxHash := ah.Sum64()
 
 	var b store.Builder
-	b.AddSection(secMeta, encodeMeta(m, hash))
+	b.AddSection(secMeta, encodeMeta(m, hash, auxHash))
 	b.AddSection(secGoal, goalPayload)
 	b.AddSection(secEnv, envPayload)
 	b.AddSection(secMix, mixPayload)
 	b.AddSection(secTree, treePayload)
 	if trainPayload != nil {
 		b.AddSection(secTrain, trainPayload)
+	}
+	if cachePayload != nil {
+		b.AddSection(secCache, cachePayload)
 	}
 	return b.Bytes(), hash, nil
 }
@@ -163,26 +195,45 @@ func decodeModel(data []byte, env *schedule.Env) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	meta, err := decodeMeta(metaPayload)
+	cachePayload, hasCache, err := c.Section(secCache)
 	if err != nil {
 		return nil, err
 	}
-	// Recompute the content hash over the stored section payloads —
-	// training data included, when present — and compare with the
-	// recorded one before decoding anything expensive: a mismatch means
-	// the sections were recombined or rewritten (each is individually
+	if hasCache && c.Version() < 2 {
+		return nil, fmt.Errorf("%w: v1 container carries a cache section", store.ErrCorrupt)
+	}
+
+	meta, err := decodeMeta(metaPayload, c.Version())
+	if err != nil {
+		return nil, err
+	}
+	// Recompute the recorded hashes over the stored section payloads and
+	// compare before decoding anything expensive: a mismatch means the
+	// sections were recombined or rewritten (each is individually
 	// CRC-intact, so this catches cross-section tampering CRCs cannot,
 	// e.g. a foreign traindata section that would silently change
-	// post-restart Shift results).
+	// post-restart Shift results). v1 recorded a single hash over all
+	// payloads; v2 splits serving content from the auxiliary sections.
 	h := fnv.New64a()
 	h.Write(goalPayload)
 	h.Write(envPayload)
 	h.Write(mixPayload)
 	h.Write(treePayload)
-	h.Write(trainPayload)
-	if got := h.Sum64(); got != meta.hash {
-		return nil, fmt.Errorf("%w: content hash %016x does not match recorded %016x", store.ErrCorrupt, got, meta.hash)
+	if c.Version() < 2 {
+		h.Write(trainPayload)
+		if got := h.Sum64(); got != meta.hash {
+			return nil, fmt.Errorf("%w: content hash %016x does not match recorded %016x", store.ErrCorrupt, got, meta.hash)
+		}
+	} else {
+		if got := h.Sum64(); got != meta.hash {
+			return nil, fmt.Errorf("%w: content hash %016x does not match recorded %016x", store.ErrCorrupt, got, meta.hash)
+		}
+		ah := fnv.New64a()
+		ah.Write(trainPayload)
+		ah.Write(cachePayload)
+		if got := ah.Sum64(); got != meta.auxHash {
+			return nil, fmt.Errorf("%w: auxiliary hash %016x does not match recorded %016x", store.ErrCorrupt, got, meta.auxHash)
+		}
 	}
 
 	goal, err := decodeGoal(goalPayload)
@@ -226,16 +277,27 @@ func decodeModel(data []byte, env *schedule.Env) (*Model, error) {
 		TrainingConfig:      meta.config,
 		TrainingCacheHits:   meta.cacheHits,
 		TrainingCacheMisses: meta.cacheMisses,
+		WarmSamples:         meta.warmSamples,
+		ColdSamples:         meta.coldSamples,
 		env:                 env,
 		prob:                runtimeProblem(env, goal),
 		trainingMix:         mix,
 	}
 	if hasTrain {
-		samples, tErr := decodeTrainData(trainPayload, env)
+		samples, tErr := decodeTrainData(trainPayload, env, c.Version())
 		if tErr != nil {
 			return nil, tErr
 		}
 		m.samples = samples
+	}
+	if hasCache {
+		entries, cErr := decodeCacheData(cachePayload, env)
+		if cErr != nil {
+			return nil, cErr
+		}
+		cache := search.NewTranspositionCache()
+		cache.Import(entries)
+		m.searchCache = cache
 	}
 	m.servingTables() // compile the serving form at load time, like Train
 	return m, nil
@@ -302,14 +364,16 @@ func (a *Advisor) LoadModel(path string) (*Model, error) {
 
 // modelMeta is the decoded secMeta payload.
 type modelMeta struct {
-	trainingTime           time.Duration
-	trainingRows           int
-	cacheHits, cacheMisses int
-	config                 TrainConfig
-	hash                   uint64
+	trainingTime             time.Duration
+	trainingRows             int
+	cacheHits, cacheMisses   int
+	config                   TrainConfig
+	hash                     uint64
+	auxHash                  uint64
+	warmSamples, coldSamples int
 }
 
-func encodeMeta(m *Model, hash uint64) []byte {
+func encodeMeta(m *Model, hash, auxHash uint64) []byte {
 	var e store.Enc
 	e.U64(hash)
 	e.Duration(m.TrainingTime)
@@ -335,10 +399,16 @@ func encodeMeta(m *Model, hash uint64) []byte {
 			e.F64(w)
 		}
 	}
+	// v2 tail: auxiliary hash and the warm/cold sample split.
+	e.U64(auxHash)
+	e.Int(m.WarmSamples)
+	e.Int(m.ColdSamples)
 	return e.Bytes()
 }
 
-func decodeMeta(p []byte) (modelMeta, error) {
+// decodeMeta decodes a secMeta payload; version is the container's format
+// version (v1 payloads end before the v2 tail fields).
+func decodeMeta(p []byte, version uint16) (modelMeta, error) {
 	d := store.NewDec(p)
 	var m modelMeta
 	m.hash = d.U64()
@@ -365,6 +435,11 @@ func decodeMeta(p []byte) (modelMeta, error) {
 				m.config.SampleWeights[i] = d.F64()
 			}
 		}
+	}
+	if version >= 2 {
+		m.auxHash = d.U64()
+		m.warmSamples = d.Int()
+		m.coldSamples = d.Int()
 	}
 	return m, d.Done()
 }
@@ -776,13 +851,29 @@ func encodeTrainData(samples []trainSample) ([]byte, error) {
 				e.F64(g)
 			}
 		}
+		// v2 appends the sample's solved action path, so a registry
+		// restored from a checkpoint replays unchanged samples instead of
+		// re-searching them (v1 files decode without paths and fall back
+		// to reuse-assisted re-search), and the weighted draw's unit
+		// variates, so a restored warm retrain rebins the stored draws
+		// instead of reseeding 500 samplers.
+		e.Int(len(s.actions))
+		for _, a := range s.actions {
+			e.U8(uint8(a.Kind))
+			e.U32(uint32(int32(a.Template)))
+			e.U32(uint32(int32(a.VMType)))
+		}
+		e.Int(len(s.variates))
+		for _, v := range s.variates {
+			e.F64(v)
+		}
 	}
 	return e.Bytes(), nil
 }
 
-func decodeTrainData(p []byte, env *schedule.Env) ([]trainSample, error) {
+func decodeTrainData(p []byte, env *schedule.Env, version uint16) ([]trainSample, error) {
 	d := store.NewDec(p)
-	k := len(env.Templates)
+	k, nv := len(env.Templates), len(env.VMTypes)
 	n := d.Count(9) // per sample: query count + reuse flag at minimum
 	if d.Err() != nil {
 		return nil, d.Err()
@@ -829,9 +920,123 @@ func decodeTrainData(p []byte, env *schedule.Env) ([]trainSample, error) {
 			}
 			s.reuse = &search.Reuse{OldCost: oldCost, Closed: closed}
 		}
+		if version >= 2 {
+			na := d.Count(9)
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if na > 0 {
+				s.actions = make([]graph.Action, na)
+				for j := range s.actions {
+					a := graph.Action{
+						Kind:     graph.ActionKind(d.U8()),
+						Template: int(int32(d.U32())),
+						VMType:   int(int32(d.U32())),
+					}
+					if d.Err() != nil {
+						return nil, d.Err()
+					}
+					switch a.Kind {
+					case graph.Place:
+						if a.Template < 0 || a.Template >= k {
+							return nil, fmt.Errorf("%w: sample %d action %d places template %d of %d", store.ErrCorrupt, i, j, a.Template, k)
+						}
+					case graph.Startup:
+						if a.VMType < 0 || a.VMType >= nv {
+							return nil, fmt.Errorf("%w: sample %d action %d starts VM type %d of %d", store.ErrCorrupt, i, j, a.VMType, nv)
+						}
+					default:
+						return nil, fmt.Errorf("%w: sample %d action %d has kind %d", store.ErrCorrupt, i, j, a.Kind)
+					}
+					s.actions[j] = a
+				}
+			}
+			nu := d.Count(8)
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if nu > 0 {
+				s.variates = make([]float64, nu)
+				for j := range s.variates {
+					v := d.F64()
+					if d.Err() == nil && (math.IsNaN(v) || v < 0 || v >= 1) {
+						return nil, fmt.Errorf("%w: sample %d variate %d is %g, want [0,1)", store.ErrCorrupt, i, j, v)
+					}
+					s.variates[j] = v
+				}
+			}
+		}
 		samples = append(samples, s)
 	}
 	return samples, d.Done()
+}
+
+// ---- transposition-cache section ----
+
+// encodeCacheData serializes an Export snapshot. Entries are already in
+// canonical signature order, so the payload is a pure function of the cache
+// contents — encoding the same cache twice yields identical bytes, which the
+// canonical-encoding property of EncodeModel depends on.
+func encodeCacheData(entries []search.CacheEntry) []byte {
+	var e store.Enc
+	e.Int(len(entries))
+	for _, ce := range entries {
+		e.Bytes32(ce.Sig)
+		e.F64(ce.Cost)
+		e.Int(len(ce.Actions))
+		for _, a := range ce.Actions {
+			e.U8(uint8(a.Kind))
+			e.U32(uint32(int32(a.Template)))
+			e.U32(uint32(int32(a.VMType)))
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeCacheData(p []byte, env *schedule.Env) ([]search.CacheEntry, error) {
+	d := store.NewDec(p)
+	k, nv := len(env.Templates), len(env.VMTypes)
+	n := d.Count(21) // per entry: sig prefix + cost + action count at minimum
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	entries := make([]search.CacheEntry, 0, n)
+	for i := 0; i < n; i++ {
+		ce := search.CacheEntry{Sig: d.Bytes32(), Cost: d.F64()}
+		na := d.Count(9)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		ce.Actions = make([]graph.Action, na)
+		for j := range ce.Actions {
+			a := graph.Action{
+				Kind:     graph.ActionKind(d.U8()),
+				Template: int(int32(d.U32())),
+				VMType:   int(int32(d.U32())),
+			}
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			switch a.Kind {
+			case graph.Place:
+				if a.Template < 0 || a.Template >= k {
+					return nil, fmt.Errorf("%w: cache entry %d places template %d of %d", store.ErrCorrupt, i, a.Template, k)
+				}
+			case graph.Startup:
+				if a.VMType < 0 || a.VMType >= nv {
+					return nil, fmt.Errorf("%w: cache entry %d starts VM type %d of %d", store.ErrCorrupt, i, a.VMType, nv)
+				}
+			default:
+				return nil, fmt.Errorf("%w: cache entry %d has action kind %d", store.ErrCorrupt, i, a.Kind)
+			}
+			ce.Actions[j] = a
+		}
+		if math.IsNaN(ce.Cost) || math.IsInf(ce.Cost, 0) || ce.Cost < 0 {
+			return nil, fmt.Errorf("%w: cache entry %d has cost %g", store.ErrCorrupt, i, ce.Cost)
+		}
+		entries = append(entries, ce)
+	}
+	return entries, d.Done()
 }
 
 // SectionName renders a model-container section ID for inspection output.
@@ -849,6 +1054,8 @@ func SectionName(id uint32) string {
 		return "tree"
 	case secTrain:
 		return "traindata"
+	case secCache:
+		return "cache"
 	default:
 		return fmt.Sprintf("section-%d", id)
 	}
@@ -861,6 +1068,9 @@ func SectionName(id uint32) string {
 // checksummed), which is what lets `wisedb inspect` describe a large model
 // in microseconds.
 type ModelInfo struct {
+	// FormatVersion is the container version the file was written with
+	// (the reader accepts store.MinFormatVersion..store.FormatVersion).
+	FormatVersion uint16
 	// Sections lists every section with its size and checksum.
 	Sections []store.SectionInfo
 	// Hash is the parallelism-independent model content hash.
@@ -881,6 +1091,15 @@ type ModelInfo struct {
 	Mix []float64
 	// HasTrainingData reports whether the model retains its samples.
 	HasTrainingData bool
+	// HasSearchCache reports whether the model carries a persisted
+	// transposition-cache snapshot (format v2+).
+	HasSearchCache bool
+	// AuxHash is the auxiliary hash over the training-data and cache
+	// sections (zero for v1 files, whose Hash covers everything).
+	AuxHash uint64
+	// WarmSamples and ColdSamples split the training run's samples into
+	// warm replays and fresh solves (both zero for cold-trained models).
+	WarmSamples, ColdSamples int
 }
 
 // InspectModel reads a model's provenance, goal, environment, and mix
@@ -890,7 +1109,9 @@ func InspectModel(data []byte) (*ModelInfo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: inspect model: %w", err)
 	}
-	meta, err := readSection(c, secMeta, decodeMeta)
+	meta, err := readSection(c, secMeta, func(p []byte) (modelMeta, error) {
+		return decodeMeta(p, c.Version())
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -907,21 +1128,28 @@ func InspectModel(data []byte) (*ModelInfo, error) {
 		return nil, err
 	}
 	info := &ModelInfo{
-		Sections:     c.Sections(),
-		Hash:         meta.hash,
-		TrainingTime: meta.trainingTime,
-		TrainingRows: meta.trainingRows,
-		CacheHits:    meta.cacheHits,
-		CacheMisses:  meta.cacheMisses,
-		Config:       meta.config,
-		Goal:         goal,
-		Templates:    se.templates,
-		VMTypes:      se.vmTypes,
-		Mix:          mix,
+		FormatVersion: c.Version(),
+		Sections:      c.Sections(),
+		Hash:          meta.hash,
+		AuxHash:       meta.auxHash,
+		TrainingTime:  meta.trainingTime,
+		TrainingRows:  meta.trainingRows,
+		CacheHits:     meta.cacheHits,
+		CacheMisses:   meta.cacheMisses,
+		WarmSamples:   meta.warmSamples,
+		ColdSamples:   meta.coldSamples,
+		Config:        meta.config,
+		Goal:          goal,
+		Templates:     se.templates,
+		VMTypes:       se.vmTypes,
+		Mix:           mix,
 	}
 	for _, s := range c.Sections() {
-		if s.ID == secTrain {
+		switch s.ID {
+		case secTrain:
 			info.HasTrainingData = true
+		case secCache:
+			info.HasSearchCache = true
 		}
 	}
 	return info, nil

@@ -112,8 +112,67 @@ const searchCacheGeneration = 32
 // play. With cache == nil it degenerates to one forEach over all indices.
 func solveSamples(ctx context.Context, workers, n int, cache *search.TranspositionCache,
 	run func(i int, cache *search.TranspositionCache, rec *search.PendingSuffixes) error) error {
+	return solveSamplesFold(ctx, workers, n, cache, run, nil)
+}
+
+// solveSamplesFold is solveSamples with a pipelined fold stage: after each
+// generation's commit barrier, the completed index range [lo, hi) is handed
+// to fold on a dedicated goroutine, so folding generation k (building the
+// decision-tree dataset, harvesting counters) overlaps the searches of
+// generation k+1. Ranges arrive in index order and fold runs
+// single-threaded, so any fold that appends per index in range order
+// produces exactly the sequence a post-hoc loop over [0, n) would — the
+// pipelining is invisible to the result. The channel hand-off
+// happens-before each fold call, so fold may freely read the per-index
+// slots the workers wrote. solveSamplesFold returns only after the fold
+// goroutine has drained (on error, remaining ranges are discarded).
+func solveSamplesFold(ctx context.Context, workers, n int, cache *search.TranspositionCache,
+	run func(i int, cache *search.TranspositionCache, rec *search.PendingSuffixes) error,
+	fold func(lo, hi int) error) error {
+	var (
+		ranges   chan [2]int
+		foldDone chan error
+	)
+	emit := func(lo, hi int) {
+		if ranges != nil && hi > lo {
+			ranges <- [2]int{lo, hi}
+		}
+	}
+	// finish closes the pipeline and joins the fold goroutine; the run
+	// error wins over a fold error (it happened first).
+	finish := func(err error) error {
+		if ranges == nil {
+			return err
+		}
+		close(ranges)
+		foldErr := <-foldDone
+		if err == nil {
+			err = foldErr
+		}
+		return err
+	}
+	if fold != nil {
+		ranges = make(chan [2]int, 8)
+		foldDone = make(chan error, 1)
+		go func() {
+			var err error
+			for r := range ranges {
+				if err == nil {
+					err = fold(r[0], r[1])
+				}
+				// After a fold error, keep draining so emit never blocks.
+			}
+			foldDone <- err
+		}()
+	}
+
 	if cache == nil {
-		return forEach(ctx, workers, n, func(i int) error { return run(i, nil, nil) })
+		// No barriers to pipeline against: one pool pass, one fold.
+		err := forEach(ctx, workers, n, func(i int) error { return run(i, nil, nil) })
+		if err == nil {
+			emit(0, n)
+		}
+		return finish(err)
 	}
 	gen := searchCacheGeneration
 	if gen > n {
@@ -129,7 +188,7 @@ func solveSamples(ctx context.Context, workers, n int, cache *search.Transpositi
 		if err := forEach(ctx, workers, g, func(j int) error {
 			return run(first+j, cache, &pending[j])
 		}); err != nil {
-			return err
+			return finish(err)
 		}
 		// Commit order is irrelevant (the merge is commutative); doing it
 		// at the barrier, single-threaded, is what keeps the visible cache
@@ -137,8 +196,9 @@ func solveSamples(ctx context.Context, workers, n int, cache *search.Transpositi
 		for j := 0; j < g; j++ {
 			cache.Commit(&pending[j])
 		}
+		emit(base, base+g)
 	}
-	return nil
+	return finish(nil)
 }
 
 // deriveSeed mixes a per-sample sub-seed out of the training seed and the

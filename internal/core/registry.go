@@ -89,6 +89,13 @@ type ModelRegistry struct {
 	backoffSuppressed, breakerRejected atomic.Int64
 	breakerOpens, breakerCloses        atomic.Int64
 	checkpointRetries                  atomic.Int64
+
+	// Retrain cost and warm-reuse accounting (see WarmTrain): per-retrain
+	// wall time and the warm/cold sample and cache-hit split of the last
+	// successful retrain, plus running totals.
+	lastRetrainMS, retrainMSTotal        atomic.Int64
+	warmSamplesTotal, coldSamplesTotal   atomic.Int64
+	retrainCacheHits, retrainCacheMisses atomic.Int64
 }
 
 // NewModelRegistry returns a registry serving base as epoch 0, with the
@@ -357,8 +364,13 @@ func (r *ModelRegistry) retrainNow(ctx context.Context, mix []float64, emd float
 }
 
 // runRetrain builds the replacement model and swaps it in, feeding the
-// outcome back into the breaker/backoff state either way.
+// outcome back into the breaker/backoff state either way. The retrain's
+// wall time and warm-reuse split are recorded in the registry counters and
+// in the installed epoch's checkpoint lineage, so drift-recovery cost is
+// observable live (Stats, the daemon's /stats) and post-hoc (wisedb
+// inspect's lineage table).
 func (r *ModelRegistry) runRetrain(ctx context.Context, cur *ModelEpoch, mix []float64, emd float64) error {
+	start := time.Now()
 	m, err := r.retrain(ctx, cur, mix)
 	r.noteRetrainResult(err)
 	if err != nil {
@@ -366,7 +378,19 @@ func (r *ModelRegistry) runRetrain(ctx context.Context, cur *ModelEpoch, mix []f
 		r.lastErr.Store(&err)
 		return err
 	}
-	r.install(m, mix, store.Lineage{Reason: "drift", EMD: emd})
+	elapsedMS := time.Since(start).Milliseconds()
+	r.lastRetrainMS.Store(elapsedMS)
+	r.retrainMSTotal.Add(elapsedMS)
+	r.warmSamplesTotal.Add(int64(m.WarmSamples))
+	r.coldSamplesTotal.Add(int64(m.ColdSamples))
+	r.retrainCacheHits.Add(int64(m.TrainingCacheHits))
+	r.retrainCacheMisses.Add(int64(m.TrainingCacheMisses))
+	r.install(m, mix, store.Lineage{
+		Reason: "drift", EMD: emd,
+		RetrainMS:   elapsedMS,
+		WarmSamples: m.WarmSamples, ColdSamples: m.ColdSamples,
+		CacheHits: int64(m.TrainingCacheHits), CacheMisses: int64(m.TrainingCacheMisses),
+	})
 	return nil
 }
 
@@ -428,6 +452,18 @@ type RegistryStats struct {
 	// LastCheckpointErr is the most recent checkpoint failure, nil if
 	// none.
 	LastCheckpointErr error
+	// LastRetrainMS is the wall time of the most recent successful drift
+	// retrain in milliseconds; TotalRetrainMS sums all successful
+	// retrains. Failed retrains record neither.
+	LastRetrainMS, TotalRetrainMS int64
+	// WarmSamples and ColdSamples split the training samples of all
+	// successful retrains into warm replays (prior-epoch search reused,
+	// see WarmTrain) and fresh solves. RetrainCacheHits/Misses total the
+	// cross-epoch transposition-cache outcomes of those retrains —
+	// together they quantify how much drift recovery the warm path
+	// avoided recomputing.
+	WarmSamples, ColdSamples             int64
+	RetrainCacheHits, RetrainCacheMisses int64
 	// Robustness is the failure-path discipline's state: backoff and
 	// breaker counters, breaker position, checkpoint retries.
 	Robustness RobustnessStats
@@ -443,6 +479,12 @@ func (r *ModelRegistry) Stats() RegistryStats {
 		InFlight:           r.inFlight.Load(),
 		Checkpoints:        r.checkpoints.Load(),
 		CheckpointFailures: r.checkpointFailures.Load(),
+		LastRetrainMS:      r.lastRetrainMS.Load(),
+		TotalRetrainMS:     r.retrainMSTotal.Load(),
+		WarmSamples:        r.warmSamplesTotal.Load(),
+		ColdSamples:        r.coldSamplesTotal.Load(),
+		RetrainCacheHits:   r.retrainCacheHits.Load(),
+		RetrainCacheMisses: r.retrainCacheMisses.Load(),
 		Robustness:         r.Robustness(),
 	}
 	if p := r.lastErr.Load(); p != nil {
@@ -459,14 +501,41 @@ func (r *ModelRegistry) Stats() RegistryStats {
 // observed arrival mix instead of the uniform distribution. The new model
 // retains training data so the linear-shifting optimization keeps working
 // against it after the swap.
+//
+// The retrain is warm (see WarmTrain): it re-seeds from the superseded
+// epoch's transposition cache and replays unchanged sample searches, which
+// cuts drift-recovery latency without changing the result — the warm model
+// is bit-identical in serving content to a cold retrain. Goals or configs
+// the warm path cannot serve soundly fall back to a cold Train inside
+// WarmTrainContext.
 func DriftRetrain(ctx context.Context, cur *ModelEpoch, mix []float64) (*Model, error) {
+	adv, err := driftAdvisor(cur, mix)
+	if err != nil {
+		return nil, err
+	}
+	return adv.WarmTrainContext(ctx, cur.Model.Goal, cur.Model)
+}
+
+// ColdDriftRetrain is DriftRetrain without warm reuse: every sample is
+// solved from scratch with an empty transposition cache. It exists as the
+// ablation baseline — install it with SetRetrain to measure what the warm
+// path saves (the recovery experiment and BenchmarkColdRetrain do); the
+// models it produces are bit-identical to DriftRetrain's.
+func ColdDriftRetrain(ctx context.Context, cur *ModelEpoch, mix []float64) (*Model, error) {
+	adv, err := driftAdvisor(cur, mix)
+	if err != nil {
+		return nil, err
+	}
+	return adv.TrainContext(ctx, cur.Model.Goal)
+}
+
+// driftAdvisor builds the retraining advisor both drift responses share:
+// the base model's own configuration and environment, retargeted at the
+// observed mix.
+func driftAdvisor(cur *ModelEpoch, mix []float64) (*Advisor, error) {
 	base := cur.Model
 	cfg := base.TrainingConfig
 	cfg.SampleWeights = mix
 	cfg.KeepTrainingData = true
-	adv, err := NewAdvisor(base.env, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return adv.TrainContext(ctx, base.Goal)
+	return NewAdvisor(base.env, cfg)
 }

@@ -13,7 +13,7 @@ package dt
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -40,6 +40,36 @@ func (d *Dataset) Add(x []float64, y int) {
 	}
 	d.X = append(d.X, x)
 	d.Y = append(d.Y, y)
+}
+
+// Ingest appends a batch of labeled instances. It is the streaming entry
+// point for pipelined dataset construction — the trainer folds each solved
+// sample generation into the dataset while later generations are still
+// searching — and is defined as exactly Add row by row: same validation,
+// same final order, so a dataset built from streamed batches is identical
+// to one built by a single post-hoc loop.
+func (d *Dataset) Ingest(X [][]float64, Y []int) {
+	if len(X) != len(Y) {
+		panic(fmt.Sprintf("dt: Ingest with %d rows and %d labels", len(X), len(Y)))
+	}
+	// Grow geometrically, not to the exact need: a training run ingests
+	// one small batch per optimal path, and exact growth would reallocate
+	// the whole dataset on every batch (quadratic in the row count).
+	if need := len(d.X) + len(X); cap(d.X) < need {
+		newCap := 2 * cap(d.X)
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([][]float64, len(d.X), newCap)
+		copy(grown, d.X)
+		d.X = grown
+		grownY := make([]int, len(d.Y), newCap)
+		copy(grownY, d.Y)
+		d.Y = grownY
+	}
+	for i, x := range X {
+		d.Add(x, Y[i])
+	}
 }
 
 // Len returns the number of instances.
@@ -98,12 +128,8 @@ func Train(ds *Dataset, cfg Config) *Tree {
 	if cfg.PruneConfidence <= 0 {
 		cfg.PruneConfidence = 0.25
 	}
-	idx := make([]int, ds.Len())
-	for i := range idx {
-		idx[i] = i
-	}
 	b := &builder{ds: ds, cfg: cfg}
-	root := b.build(idx, 0)
+	root := b.build(b.presort(), 0)
 	if cfg.Prune {
 		z := normalUpperQuantile(cfg.PruneConfidence)
 		pruneNode(root, z)
@@ -193,33 +219,155 @@ func dumpNode(b *strings.Builder, n *Node, features []string, labelName func(int
 type builder struct {
 	ds  *Dataset
 	cfg Config
+	// inLeft marks, during one split's partition, which rows fall on the
+	// left of the threshold; indexed by row, cleared after each use. A
+	// single scratch suffices because the build is depth-first.
+	inLeft []bool
 }
 
-// build grows a subtree over the instances in idx.
-func (b *builder) build(idx []int, depth int) *Node {
+// pair is one row projected onto a single feature, packed so presort
+// compares values without indirecting through the row storage.
+type pair struct {
+	v float64
+	i int32
+}
+
+// maxDistinctBuckets bounds the distinct-value table the counting-sort
+// presort path maintains; features with more distinct values fall back to
+// a comparison sort.
+const maxDistinctBuckets = 512
+
+// presort builds, once per training run, the row indices sorted by each
+// feature's value (ties by row index, so the order — and therefore the
+// whole build — is deterministic). build partitions these lists stably at
+// every split, so no node ever re-sorts: the classic C4.5 presorting
+// optimization, turning the per-node split scan from O(F·n log n) into
+// O(F·n).
+//
+// The features this package serves (template counts, 0/1 booleans, waits
+// quantized to template latencies) have few distinct values, so each
+// feature is ordered by a stable counting sort over its distinct-value
+// table — O(n log d) with d small — rather than a comparison sort;
+// high-cardinality features fall back to comparison sorting.
+func (b *builder) presort() [][]int32 {
+	n := b.ds.Len()
+	sorted := make([][]int32, len(b.ds.X[0]))
+	distinct := make([]float64, 0, maxDistinctBuckets)
+	bucketOf := make([]int32, n)
+	offs := make([]int32, maxDistinctBuckets+1)
+	for f := range sorted {
+		distinct = distinct[:0]
+		bucketed := true
+		for i := 0; i < n; i++ {
+			pos, found := slices.BinarySearch(distinct, b.ds.X[i][f])
+			if !found {
+				if len(distinct) == maxDistinctBuckets {
+					bucketed = false
+					break
+				}
+				distinct = slices.Insert(distinct, pos, b.ds.X[i][f])
+			}
+		}
+		if !bucketed {
+			sorted[f] = b.comparisonSort(f)
+			continue
+		}
+		for i := range offs[:len(distinct)+1] {
+			offs[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			pos, _ := slices.BinarySearch(distinct, b.ds.X[i][f])
+			bucketOf[i] = int32(pos)
+			offs[pos+1]++
+		}
+		for d := 1; d <= len(distinct); d++ {
+			offs[d] += offs[d-1]
+		}
+		s := make([]int32, n)
+		for i := 0; i < n; i++ {
+			s[offs[bucketOf[i]]] = int32(i)
+			offs[bucketOf[i]]++
+		}
+		sorted[f] = s
+	}
+	return sorted
+}
+
+// comparisonSort orders the rows by feature f's value (ties by row index):
+// the presort fallback for features with many distinct values.
+func (b *builder) comparisonSort(f int) []int32 {
+	pairs := make([]pair, b.ds.Len())
+	for i, x := range b.ds.X {
+		pairs[i] = pair{v: x[f], i: int32(i)}
+	}
+	slices.SortFunc(pairs, func(a, c pair) int {
+		if a.v < c.v {
+			return -1
+		}
+		if a.v > c.v {
+			return 1
+		}
+		return int(a.i - c.i)
+	})
+	s := make([]int32, len(pairs))
+	for i, p := range pairs {
+		s[i] = p.i
+	}
+	return s
+}
+
+// build grows a subtree over the partition held in sorted: one per-feature
+// value-ordered list of the same row set (sorted[0] doubles as the row
+// enumeration).
+func (b *builder) build(sorted [][]int32, depth int) *Node {
+	rows := sorted[0]
 	counts := make([]int, b.ds.NumLabels)
-	for _, i := range idx {
+	for _, i := range rows {
 		counts[b.ds.Y[i]]++
 	}
 	label, labelCount := majority(counts)
-	node := &Node{Label: label, n: len(idx), errs: len(idx) - labelCount}
-	if labelCount == len(idx) || len(idx) < 2*b.cfg.MinLeaf ||
+	node := &Node{Label: label, n: len(rows), errs: len(rows) - labelCount}
+	if labelCount == len(rows) || len(rows) < 2*b.cfg.MinLeaf ||
 		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
 		node.Leaf = true
 		return node
 	}
-	feature, threshold, ok := b.bestSplit(idx, counts)
+	feature, threshold, ok := b.bestSplit(sorted, counts)
 	if !ok {
 		node.Leaf = true
 		return node
 	}
-	var left, right []int
-	for _, i := range idx {
+	// Stable-partition every feature's list by the split predicate: each
+	// child's lists stay value-ordered, so the children need no sorting.
+	// The predicate is evaluated once per row into the scratch bitmap, so
+	// the F partition passes do one byte load per element instead of two
+	// dependent pointer chases.
+	if b.inLeft == nil {
+		b.inLeft = make([]bool, b.ds.Len())
+	}
+	nLeft := 0
+	for _, i := range rows {
 		if b.ds.X[i][feature] < threshold {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+			b.inLeft[i] = true
+			nLeft++
 		}
+	}
+	left := make([][]int32, len(sorted))
+	right := make([][]int32, len(sorted))
+	for f, sf := range sorted {
+		lf := make([]int32, 0, nLeft)
+		rf := make([]int32, 0, len(rows)-nLeft)
+		for _, i := range sf {
+			if b.inLeft[i] {
+				lf = append(lf, i)
+			} else {
+				rf = append(rf, i)
+			}
+		}
+		left[f], right[f] = lf, rf
+	}
+	for _, i := range rows {
+		b.inLeft[i] = false
 	}
 	node.Feature = feature
 	node.Threshold = threshold
@@ -229,40 +377,38 @@ func (b *builder) build(idx []int, depth int) *Node {
 }
 
 // bestSplit finds the (feature, threshold) with the highest gain ratio
-// among splits with positive information gain that respect MinLeaf.
-func (b *builder) bestSplit(idx []int, counts []int) (feature int, threshold float64, ok bool) {
-	base := entropy(counts, len(idx))
+// among splits with positive information gain that respect MinLeaf. Ties
+// are broken toward the lower feature index (features scan in order and a
+// later candidate must beat the incumbent by more than 1e-12).
+func (b *builder) bestSplit(sorted [][]int32, counts []int) (feature int, threshold float64, ok bool) {
+	n := len(sorted[0])
+	base := entropy(counts, n)
 	bestRatio := 0.0
-	numFeatures := len(b.ds.X[idx[0]])
-	type pair struct {
-		v float64
-		y int
-	}
-	pairs := make([]pair, len(idx))
 	leftCounts := make([]int, b.ds.NumLabels)
 	rightCounts := make([]int, b.ds.NumLabels)
-	for f := 0; f < numFeatures; f++ {
-		for j, i := range idx {
-			pairs[j] = pair{v: b.ds.X[i][f], y: b.ds.Y[i]}
+	for f, sf := range sorted {
+		if b.ds.X[sf[0]][f] == b.ds.X[sf[n-1]][f] {
+			continue // constant within the partition: nothing to split on
 		}
-		sort.Slice(pairs, func(a, c int) bool { return pairs[a].v < pairs[c].v })
 		for i := range leftCounts {
 			leftCounts[i] = 0
 		}
 		copy(rightCounts, counts)
 		nLeft := 0
-		for j := 0; j < len(pairs)-1; j++ {
-			leftCounts[pairs[j].y]++
-			rightCounts[pairs[j].y]--
+		for j := 0; j < n-1; j++ {
+			i := sf[j]
+			leftCounts[b.ds.Y[i]]++
+			rightCounts[b.ds.Y[i]]--
 			nLeft++
-			if pairs[j].v == pairs[j+1].v {
+			v, next := b.ds.X[i][f], b.ds.X[sf[j+1]][f]
+			if v == next {
 				continue // threshold must separate distinct values
 			}
-			nRight := len(pairs) - nLeft
+			nRight := n - nLeft
 			if nLeft < b.cfg.MinLeaf || nRight < b.cfg.MinLeaf {
 				continue
 			}
-			pl := float64(nLeft) / float64(len(pairs))
+			pl := float64(nLeft) / float64(n)
 			gain := base - pl*entropy(leftCounts, nLeft) - (1-pl)*entropy(rightCounts, nRight)
 			if gain <= 1e-12 {
 				continue
@@ -275,7 +421,7 @@ func (b *builder) bestSplit(idx []int, counts []int) (feature int, threshold flo
 			if ratio > bestRatio+1e-12 {
 				bestRatio = ratio
 				feature = f
-				threshold = midpoint(pairs[j].v, pairs[j+1].v)
+				threshold = midpoint(v, next)
 				ok = true
 			}
 		}

@@ -272,3 +272,73 @@ func TestPessimisticErrors(t *testing.T) {
 		}
 	}
 }
+
+// Ingest must be exactly Add row by row: any batch partition of the rows
+// yields the same dataset and therefore the same trained tree — the
+// invariant the pipelined trainer's streamed generations rely on.
+func TestIngestEquivalentToAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, feats, labels := 200, 4, 5
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, feats)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = rng.Intn(labels)
+	}
+	want := datasetFrom(x, y, labels)
+
+	for _, batch := range []int{1, 7, 32, n, n + 50} {
+		got := &Dataset{NumLabels: labels}
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			got.Ingest(x[lo:hi], y[lo:hi])
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("batch=%d: %d rows, want %d", batch, got.Len(), want.Len())
+		}
+		for i := range want.X {
+			if want.Y[i] != got.Y[i] {
+				t.Fatalf("batch=%d row %d: label %d, want %d", batch, i, got.Y[i], want.Y[i])
+			}
+			for j := range want.X[i] {
+				if want.X[i][j] != got.X[i][j] {
+					t.Fatalf("batch=%d row %d: features differ", batch, i)
+				}
+			}
+		}
+		a := Train(want, DefaultConfig())
+		b := Train(got, DefaultConfig())
+		name := func(l int) string { return fmt.Sprintf("L%d", l) }
+		if a.Dump(name) != b.Dump(name) {
+			t.Fatalf("batch=%d: trained trees differ", batch)
+		}
+	}
+}
+
+// Ingest must reject mismatched batches and invalid rows like Add does.
+func TestIngestValidation(t *testing.T) {
+	ds := &Dataset{NumLabels: 2}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("row/label mismatch", func() { ds.Ingest([][]float64{{1}}, nil) })
+	ds.Ingest([][]float64{{1, 2}}, []int{0})
+	mustPanic("feature width", func() { ds.Ingest([][]float64{{1}}, []int{1}) })
+	mustPanic("label range", func() { ds.Ingest([][]float64{{3, 4}}, []int{2}) })
+	if ds.Len() != 1 {
+		t.Fatalf("dataset has %d rows, want 1", ds.Len())
+	}
+}

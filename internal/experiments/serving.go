@@ -184,7 +184,15 @@ func (c *Config) ServeScaleOut() (*Table, error) {
 // stream's detector crosses the EMD threshold, the registry retrains toward
 // the observed mix (synchronously here, so the run is reproducible), and
 // the adapted model is hot-swapped in. The table splits arrivals into the
-// three phases around detection.
+// three phases around detection; the "stale epoch" column is the recovery
+// lag — arrivals served by a model trained for a mix the arrivals no
+// longer follow.
+//
+// The run happens twice: once with the default warm retrain (cross-epoch
+// cache + sample replay, see core.DriftRetrain) and once forced cold
+// (core.ColdDriftRetrain), and the closing note compares their retrain
+// times — the two runs must agree on every scheduling outcome, since warm
+// and cold retrains produce bit-identical models.
 //
 // Each tenant gets its own engine so every stream's detection is
 // observable; on a shared engine the first tenant's swap recovers everyone
@@ -207,93 +215,142 @@ func (c *Config) ServeRecovery() (*Table, error) {
 	type phase struct {
 		name                string
 		arrivals, violation int
+		stale               int
 		latency             time.Duration
 		advisor             time.Duration
 	}
-	phases := []phase{{name: "uniform mix (before shift)"}, {name: "shifted mix, pre-detection"}, {name: "shifted mix, post-swap"}}
-	detectLag, completed := 0, 0
-	var triggers, swaps int64
-	var lastMix []float64
-	var retrainTime time.Duration
-	for i := 0; i < streams; i++ {
-		seed := c.Seed + int64(i)*131
-		head := workload.NewSampler(s.env.Templates, seed).Uniform(uniform)
-		tail := workload.NewSampler(s.env.Templates, seed+1).Weighted(skewed, workload.SkewWeights(k, 0.9, k-1))
-		queries := append([]workload.Query(nil), head.Queries...)
-		for _, q := range tail.Queries {
-			q.Tag += uniform
-			queries = append(queries, q)
-		}
-		w := &workload.Workload{Templates: s.env.Templates, Queries: queries}
-		w = w.WithArrivals(workload.FixedDelayArrivals(uniform+skewed, gap))
-
-		o := core.NewOnlineScheduler(base, opts)
-		res, err := o.Run(w)
-		if err != nil {
-			return nil, err
-		}
-		if len(res.DriftTriggerArrivals) == 0 {
-			return nil, fmt.Errorf("experiments: stream %d never detected the injected shift", i)
-		}
-		// Arrival gaps are distinct, so a query's tag is its arrival
-		// index; the first trigger index splits "shifted, old model"
-		// from "shifted, adapted model".
-		trigger := res.DriftTriggerArrivals[0]
-		detectLag += trigger - uniform
-		phaseOf := func(idx int) int {
-			switch {
-			case idx < uniform:
-				return 0
-			case idx < trigger:
-				return 1
-			default:
-				return 2
-			}
-		}
-		for _, out := range res.Outcomes {
-			completed++
-			p := phaseOf(out.Tag)
-			phases[p].arrivals++
-			phases[p].latency += out.End - out.Arrival
-			if out.End-out.Arrival > goal.Deadline {
-				phases[p].violation++
-			}
-		}
-		for idx, d := range res.PerArrival {
-			phases[phaseOf(idx)].advisor += d
-		}
-		st := o.Registry().Stats()
-		triggers += st.Triggers
-		swaps += st.Swaps
-		cur := o.Registry().Current()
-		lastMix = cur.Mix
-		retrainTime = cur.Model.TrainingTime
+	type modeResult struct {
+		phases               []phase
+		detectLag, completed int
+		triggers, swaps      int64
+		retrainMS            int64
+		warmSamples, cold    int64
+		hits, misses         int64
+		lastMix              []float64
 	}
-	total := streams * (uniform + skewed)
-	if completed != total {
-		return nil, fmt.Errorf("experiments: %d of %d arrivals completed across hot swaps", completed, total)
+	runMode := func(retrain core.RetrainFunc) (*modeResult, error) {
+		r := &modeResult{phases: []phase{
+			{name: "uniform mix (before shift)"},
+			{name: "shifted mix, pre-detection"},
+			{name: "shifted mix, post-swap"},
+		}}
+		for i := 0; i < streams; i++ {
+			seed := c.Seed + int64(i)*131
+			head := workload.NewSampler(s.env.Templates, seed).Uniform(uniform)
+			tail := workload.NewSampler(s.env.Templates, seed+1).Weighted(skewed, workload.SkewWeights(k, 0.9, k-1))
+			queries := append([]workload.Query(nil), head.Queries...)
+			for _, q := range tail.Queries {
+				q.Tag += uniform
+				queries = append(queries, q)
+			}
+			w := &workload.Workload{Templates: s.env.Templates, Queries: queries}
+			w = w.WithArrivals(workload.FixedDelayArrivals(uniform+skewed, gap))
+
+			o := core.NewOnlineScheduler(base, opts)
+			if retrain != nil {
+				o.Registry().SetRetrain(retrain)
+			}
+			res, err := o.Run(w)
+			if err != nil {
+				return nil, err
+			}
+			if len(res.DriftTriggerArrivals) == 0 {
+				return nil, fmt.Errorf("experiments: stream %d never detected the injected shift", i)
+			}
+			// Arrival gaps are distinct, so a query's tag is its arrival
+			// index; the first trigger index splits "shifted, old model"
+			// from "shifted, adapted model".
+			trigger := res.DriftTriggerArrivals[0]
+			r.detectLag += trigger - uniform
+			phaseOf := func(idx int) int {
+				switch {
+				case idx < uniform:
+					return 0
+				case idx < trigger:
+					return 1
+				default:
+					return 2
+				}
+			}
+			// Recovery lag: phase 1's arrivals follow the shifted mix but
+			// are served by the uniform-trained epoch.
+			r.phases[1].stale += trigger - uniform
+			for _, out := range res.Outcomes {
+				r.completed++
+				p := phaseOf(out.Tag)
+				r.phases[p].arrivals++
+				r.phases[p].latency += out.End - out.Arrival
+				if out.End-out.Arrival > goal.Deadline {
+					r.phases[p].violation++
+				}
+			}
+			for idx, d := range res.PerArrival {
+				r.phases[phaseOf(idx)].advisor += d
+			}
+			st := o.Registry().Stats()
+			r.triggers += st.Triggers
+			r.swaps += st.Swaps
+			r.retrainMS += st.TotalRetrainMS
+			r.warmSamples += st.WarmSamples
+			r.cold += st.ColdSamples
+			r.hits += st.RetrainCacheHits
+			r.misses += st.RetrainCacheMisses
+			r.lastMix = o.Registry().Current().Mix
+		}
+		total := streams * (uniform + skewed)
+		if r.completed != total {
+			return nil, fmt.Errorf("experiments: %d of %d arrivals completed across hot swaps", r.completed, total)
+		}
+		return r, nil
+	}
+
+	warm, err := runMode(nil) // default = warm DriftRetrain
+	if err != nil {
+		return nil, err
+	}
+	cold, err := runMode(core.ColdDriftRetrain)
+	if err != nil {
+		return nil, err
+	}
+	// Warm and cold retrains are pinned bit-identical, so both runs must
+	// schedule every arrival the same way.
+	for p := range warm.phases {
+		if warm.phases[p].arrivals != cold.phases[p].arrivals || warm.phases[p].violation != cold.phases[p].violation {
+			return nil, fmt.Errorf("experiments: warm and cold recovery diverged in phase %q", warm.phases[p].name)
+		}
 	}
 
 	t := &Table{
 		Title:  fmt.Sprintf("Shift recovery: %d streams, mix flips to 90%% skew at arrival %d (drift EMD + hot swap)", streams, uniform),
-		Header: []string{"phase", "arrivals", "SLA viol.", "avg latency", "avg advisor"},
+		Header: []string{"phase", "arrivals", "stale epoch", "SLA viol.", "avg latency", "avg advisor"},
 	}
-	for _, p := range phases {
+	for _, p := range warm.phases {
 		if p.arrivals == 0 {
-			t.AddRow(p.name, "0", "-", "-", "-")
+			t.AddRow(p.name, "0", "-", "-", "-", "-")
 			continue
 		}
 		t.AddRow(p.name,
 			fmt.Sprintf("%d", p.arrivals),
+			fmt.Sprintf("%d", p.stale),
 			fmt.Sprintf("%.1f%%", 100*float64(p.violation)/float64(p.arrivals)),
 			(p.latency / time.Duration(p.arrivals)).Round(time.Second).String(),
 			(p.advisor / time.Duration(p.arrivals)).Round(time.Microsecond).String())
 	}
-	t.Note("detection lag: %.1f arrivals after the shift on average (EMD window %d, threshold %.1f)",
-		float64(detectLag)/float64(streams), opts.Drift.Window, opts.Drift.Threshold)
-	t.Note("%d retrains, %d hot swaps across %d streams; adapted models target %.0f%% mass on the skewed template (last retrain took %s)",
-		triggers, swaps, streams, 100*lastMix[k-1], retrainTime.Round(time.Millisecond))
-	t.Note("zero dropped or double-scheduled arrivals across the swap: %d/%d completed exactly once", completed, total)
+	t.Note("detection lag: %.1f arrivals after the shift on average (EMD window %d, threshold %.1f); stale-epoch column counts arrivals served before the swap landed",
+		float64(warm.detectLag)/float64(streams), opts.Drift.Window, opts.Drift.Threshold)
+	t.Note("%d retrains, %d hot swaps across %d streams; adapted models target %.0f%% mass on the skewed template",
+		warm.triggers, warm.swaps, streams, 100*warm.lastMix[k-1])
+	speedup := "-"
+	if warm.retrainMS > 0 {
+		speedup = fmt.Sprintf("%.1fx", float64(cold.retrainMS)/float64(warm.retrainMS))
+	}
+	hitRate := 0.0
+	if warm.hits+warm.misses > 0 {
+		hitRate = 100 * float64(warm.hits) / float64(warm.hits+warm.misses)
+	}
+	t.Note("warm retrain: %dms total (%d/%d samples replayed, %.0f%% cache hits) vs cold %dms — %s faster, identical outcomes in both runs",
+		warm.retrainMS, warm.warmSamples, warm.warmSamples+warm.cold, hitRate, cold.retrainMS, speedup)
+	t.Note("zero dropped or double-scheduled arrivals across the swap: %d/%d completed exactly once", warm.completed, streams*(uniform+skewed))
 	t.Fprint(c.Out)
 	return t, nil
 }

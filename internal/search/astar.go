@@ -151,6 +151,15 @@ type node struct {
 	// recomputing the sum over Unassigned there dominates frontier
 	// maintenance in the training hot loop.
 	remaining int32
+	// depth is the action-path length from the start vertex; pathCmp uses
+	// it to align parent chains when comparing paths lexicographically.
+	depth int32
+	// stitch, when non-zero, marks a pseudo-goal created by a canonical
+	// transposition-cache hit: arena.stitches[stitch-1] holds the cached
+	// suffix completing this node's prefix, and f holds the full
+	// completion cost. Pseudo-goals are never expanded; popping one ends
+	// a canonical search exactly like popping a real goal.
+	stitch int32
 }
 
 // Searcher solves scheduling problems. It precomputes the per-template
@@ -210,11 +219,17 @@ type arena struct {
 	open   bucketFrontier
 	states graph.Arena    // bump-allocated successor states
 	actBuf []graph.Action // per-expansion action scratch
-	bigs   []time.Duration
-	dom    *dominanceIndex // lazily built; Percentile searches only
-	chunks [][]node
-	chunk  int // index of the chunk newNode bump-allocates from
-	used   int // nodes used within that chunk
+	// cmpA/cmpB are materialization scratch for canonical tie-breaking:
+	// two full action prefixes compared lexicographically.
+	cmpA, cmpB []graph.Action
+	// stitches holds the cached suffixes behind pseudo-goal nodes
+	// (node.stitch indexes it, 1-based).
+	stitches [][]graph.Action
+	bigs     []time.Duration
+	dom      *dominanceIndex // lazily built; Percentile searches only
+	chunks   [][]node
+	chunk    int // index of the chunk newNode bump-allocates from
+	used     int // nodes used within that chunk
 }
 
 func newArena() *arena {
@@ -225,6 +240,7 @@ func newArena() *arena {
 func (a *arena) reset() {
 	a.sigBuf = a.sigBuf[:0]
 	a.best = a.best[:0]
+	a.stitches = a.stitches[:0]
 	a.chunk, a.used = 0, 0
 	a.states.Reset()
 	a.table.Reset()
@@ -251,6 +267,10 @@ func (a *arena) release() {
 		a.best[i] = nil
 	}
 	a.best = a.best[:0]
+	for i := range a.stitches {
+		a.stitches[i] = nil
+	}
+	a.stitches = a.stitches[:0]
 	a.open.release()
 	a.states.Release()
 	if a.dom != nil {
@@ -392,6 +412,84 @@ type solver struct {
 	stitched      []graph.Action
 	incumbentCost float64
 	seeded        bool
+	// canonical marks a search whose result must be a pure function of
+	// (problem, workload) — invariant to transposition-cache contents,
+	// adaptive-reuse heuristic strength, and worker parallelism. It holds
+	// for every monotonic, unseeded search and is what lets a warm
+	// retrain (cache and Closed sets carried over from a prior epoch)
+	// reproduce a cold retrain bit-for-bit.
+	//
+	// The canonical schedule is the lexicographically least action
+	// sequence (under actionCmp) among complete schedules whose total
+	// cost lies in the minimal eps-quantization band. The search finds it
+	// without enumerating the band: the open list pops in
+	// (eps-banded f, lex path) order, transposition-cache hits become
+	// pseudo-goal frontier nodes (carrying prefix + cached suffix at the
+	// full completion cost) instead of incumbent adoptions, and the first
+	// goal or pseudo-goal popped is the canonical schedule. The argument:
+	// any prefix of the canonical schedule S has f within the band of S's
+	// cost under every admissible heuristic, so it pops before any
+	// lex-greater goal in that band; a cached suffix is itself the
+	// canonical completion of its state (recorded from canonical paths,
+	// merged lex-least in Commit), so a pseudo-goal either realizes S or
+	// diverges from it in its visible prefix and pops after. Band-edge
+	// float noise (~1e-13 across summation orders, vs the 1e-9 band) is
+	// the only residual nondeterminism and is the same noise class the
+	// eps tolerance already accepts everywhere else.
+	//
+	// Dedupe keeps the lex-least among eps-tied paths per state and
+	// re-opens on replacement; since a lex-smaller prefix maps every
+	// completion to a lex-smaller completion at the same cost, the
+	// canonical schedule's prefixes are never evicted.
+	canonical bool
+}
+
+// tieLess reports whether the candidate path (parent, act) is
+// lexicographically smaller than open node b's path. Both paths reach the
+// same state, so they are eps-tied in cost; the canonical search keeps the
+// lex-least.
+func (sv *solver) tieLess(parent *node, act graph.Action, b *node) bool {
+	ar := sv.ar
+	ar.cmpA = appendPathActions(ar.cmpA[:0], parent, act)
+	ar.cmpB = appendPathActions(ar.cmpB[:0], b.parent, b.act)
+	return lexCmpActions(ar.cmpA, ar.cmpB) < 0
+}
+
+// appendPathActions appends the root-to-edge action sequence of the path
+// that ends with edge (parent, act); parent == nil denotes the start vertex
+// (no edge at all, an empty path).
+func appendPathActions(buf []graph.Action, parent *node, act graph.Action) []graph.Action {
+	if parent == nil {
+		return buf
+	}
+	start := len(buf)
+	buf = append(buf, act)
+	for n := parent; n.parent != nil; n = n.parent {
+		buf = append(buf, n.act)
+	}
+	reverseActions(buf[start:])
+	return buf
+}
+
+// lexCmpActions compares two action sequences lexicographically under
+// actionCmp; a proper prefix orders first.
+func lexCmpActions(a, b []graph.Action) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := actionCmp(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }
 
 // consider processes one arrival at a state: interns its signature,
@@ -405,8 +503,21 @@ func (sv *solver) consider(st *graph.State, parent *node, act graph.Action, g fl
 	if fresh {
 		ar.best = append(ar.best, nil)
 	}
-	if b := ar.best[id]; b != nil && b.g <= g+eps {
-		return
+	if b := ar.best[id]; b != nil {
+		if sv.canonical {
+			// Keep the cheapest path; among eps-tied paths keep the
+			// lexicographically least, re-opening the state so its
+			// subtree re-derives with the smaller prefix (the cascade
+			// terminates: the kept prefix strictly lex-decreases).
+			if b.g < g-eps {
+				return
+			}
+			if g >= b.g-eps && !sv.tieLess(parent, act, b) {
+				return
+			}
+		} else if b.g <= g+eps {
+			return
+		}
 	}
 	if ar.dom != nil {
 		if ar.dom.dominated(st, g) {
@@ -414,11 +525,25 @@ func (sv *solver) consider(st *graph.State, parent *node, act graph.Action, g fl
 		}
 		ar.dom.insert(st, g)
 	}
+	depth := int32(0)
+	if parent != nil {
+		depth = parent.depth + 1
+	}
 	if sv.cache != nil {
 		if e, ok := sv.cache.lookup(ar.sigBuf); ok {
 			sv.hits++
 			cn := ar.newNode()
-			*cn = node{state: st, id: id, g: g, f: g + e.cost, parent: parent, act: act, remaining: remaining}
+			*cn = node{state: st, id: id, g: g, f: g + e.cost, parent: parent, act: act, remaining: remaining, depth: depth}
+			if sv.canonical {
+				// Push a pseudo-goal at the full completion cost
+				// instead of adopting an incumbent: the pop order
+				// decides canonically among all completions.
+				ar.stitches = append(ar.stitches, e.actions)
+				cn.stitch = int32(len(ar.stitches))
+				ar.best[id] = cn
+				ar.open.push(cn)
+				return
+			}
 			ar.best[id] = cn
 			// Strict improvement (beyond eps) keeps seeded-incumbent
 			// semantics: a stitched completion merely matching the seed
@@ -435,7 +560,7 @@ func (sv *solver) consider(st *graph.State, parent *node, act graph.Action, g fl
 		return // bound: cannot beat the incumbent
 	}
 	cn := ar.newNode()
-	*cn = node{state: st, id: id, g: g, f: f, parent: parent, act: act, remaining: remaining}
+	*cn = node{state: st, id: id, g: g, f: f, parent: parent, act: act, remaining: remaining, depth: depth}
 	ar.best[id] = cn
 	ar.open.push(cn)
 }
@@ -460,15 +585,6 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 	} else {
 		ar.dom = nil
 	}
-	// f-costs are in cents; a quantum of a fraction of the cheapest
-	// start-up fee separates the packing plateaus the bounds create while
-	// keeping the bucket count moderate.
-	quantum := s.minStartup / 8
-	if !(quantum > 1e-4) {
-		quantum = 1e-4
-	}
-	ar.open.init(0, quantum)
-
 	monotonic := s.prob.Goal.Monotonic()
 	sv := solver{s: s, ar: ar, table: table, reuse: opts.Reuse, incumbentCost: math.Inf(1)}
 	if opts.Cache != nil && monotonic {
@@ -479,6 +595,19 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 		sv.incumbentCost = opts.IncumbentCost + eps
 		sv.seeded = true
 	}
+	// Every monotonic, unseeded search is canonical (see solver.canonical):
+	// its result is invariant to cache contents and heuristic strength.
+	// Seeded searches keep the legacy incumbent-bound semantics so
+	// ErrSeedIsOptimal still means "nothing strictly beats the seed".
+	sv.canonical = monotonic && !sv.seeded
+	// f-costs are in cents; a quantum of a fraction of the cheapest
+	// start-up fee separates the packing plateaus the bounds create while
+	// keeping the bucket count moderate.
+	quantum := s.minStartup / 8
+	if !(quantum > 1e-4) {
+		quantum = 1e-4
+	}
+	ar.open.init(0, quantum, sv.canonical)
 
 	start := s.prob.Start(w)
 	sv.consider(start, nil, graph.Action{}, 0, int32(start.RemainingQueries()))
@@ -490,20 +619,37 @@ func (s *Searcher) Solve(w *workload.Workload, opts Options) (*Result, error) {
 		if n == nil {
 			break
 		}
-		if b := ar.best[n.id]; b != nil && b.g < n.g-eps {
-			continue // stale entry superseded by a cheaper path
-		}
-		if n.f >= sv.incumbentCost-eps && (sv.incumbent != nil || sv.seeded) {
-			// Nothing in the open list can beat the incumbent:
-			// every other open node has f >= n.f, and f never
-			// overestimates the cost of completions.
-			break
-		}
-		if n.state.IsGoal() {
-			if n.g < sv.incumbentCost {
-				sv.incumbent, sv.incumbentCost, sv.stitched = n, n.g, nil
+		if sv.canonical {
+			if ar.best[n.id] != n {
+				continue // superseded by a cheaper or lex-smaller path
 			}
-			continue
+			if n.stitch != 0 || n.state.IsGoal() {
+				// First goal or pseudo-goal popped: by the canonical
+				// pop order this is the lex-least schedule in the
+				// minimal cost band, regardless of what the cache or
+				// the heuristic contributed.
+				sv.incumbent, sv.incumbentCost = n, n.f
+				if n.stitch != 0 {
+					sv.stitched = ar.stitches[n.stitch-1]
+				}
+				break
+			}
+		} else {
+			if b := ar.best[n.id]; b != nil && b.g < n.g-eps {
+				continue // stale entry superseded by a cheaper path
+			}
+			if n.f >= sv.incumbentCost-eps && (sv.incumbent != nil || sv.seeded) {
+				// Nothing in the open list can beat the incumbent:
+				// every other open node has f >= n.f, and f never
+				// overestimates the cost of completions.
+				break
+			}
+			if n.state.IsGoal() {
+				if n.g < sv.incumbentCost {
+					sv.incumbent, sv.incumbentCost, sv.stitched = n, n.g, nil
+				}
+				continue
+			}
 		}
 		expanded++
 		if opts.MaxExpansions > 0 && expanded > opts.MaxExpansions {
@@ -600,12 +746,16 @@ func (s *Searcher) buildPath(res *Result, w *workload.Workload, opts Options) er
 	res.Path = make([]Step, 0, len(res.Actions))
 	st := s.prob.Start(w)
 	g := 0.0
-	var sigBuf []byte
+	var edgeCosts []float64
+	var sigs [][]byte
+	if record {
+		edgeCosts = make([]float64, len(res.Actions))
+		sigs = make([][]byte, len(res.Actions))
+	}
 	for i, a := range res.Actions {
 		res.Path = append(res.Path, Step{State: st, Action: a})
 		if record {
-			sigBuf = s.prob.AppendSignature(sigBuf[:0], st)
-			opts.Record.add(sigBuf, res.Cost-g, recActions[i:])
+			sigs[i] = s.prob.AppendSignature(nil, st)
 		}
 		var cost float64
 		switch a.Kind {
@@ -618,6 +768,9 @@ func (s *Searcher) buildPath(res *Result, w *workload.Workload, opts Options) er
 			}
 			cost = c
 		}
+		if record {
+			edgeCosts[i] = cost
+		}
 		g += cost
 		st = s.prob.Apply(st, a)
 	}
@@ -627,7 +780,52 @@ func (s *Searcher) buildPath(res *Result, w *workload.Workload, opts Options) er
 	if math.Abs(g-res.Cost) > 1e-6 {
 		return fmt.Errorf("search: internal error: replayed path costs %.9f, search reported %.9f", g, res.Cost)
 	}
+	if record {
+		// Suffix costs accumulate backward (cost_i = edge_i + cost_{i+1})
+		// rather than as res.Cost − forward-prefix: the backward sum over a
+		// given action suffix is the same float bit pattern no matter which
+		// sample or epoch recorded it, so transposition caches built warm
+		// and cold hold identical entries for shared signatures.
+		suffix := 0.0
+		for i := len(res.Actions) - 1; i >= 0; i-- {
+			suffix += edgeCosts[i]
+			opts.Record.add(sigs[i], suffix, recActions[i:])
+		}
+	}
 	return nil
+}
+
+// Replay reconstructs the Result a previous search of w produced from its
+// recorded action sequence, without searching: the actions are replayed
+// from the start vertex exactly as buildPath replays a fresh search's
+// incumbent, materializing the same Path steps and — via rec — the same
+// transposition-cache suffix records (cache entries only ever come from
+// returned optimal paths, so a replay regenerates precisely what the
+// search would have recorded). cost is the original search's cost, cross-
+// checked against the replayed edge sum; a mismatch (the actions were
+// recorded under a different goal or environment) is an error, never a
+// silently wrong schedule.
+//
+// Soundness rests on the canonical-search invariant: for monotonic goals,
+// an unseeded search of the same (workload, goal, environment) returns the
+// lexicographically least optimal schedule regardless of cache or reuse
+// state — so the stored actions ARE today's search result, and warm
+// retraining replays unchanged samples in O(path) instead of re-searching
+// (see core's WarmTrain). The returned result carries no Closed set;
+// callers that need reuse information forward the original search's.
+func (s *Searcher) Replay(w *workload.Workload, actions []graph.Action, cost float64, rec *PendingSuffixes) (*Result, error) {
+	if !s.prob.Goal.Monotonic() {
+		return nil, errors.New("search: Replay requires a monotonic goal (non-monotonic searches are not canonical)")
+	}
+	res := &Result{
+		Cost:    cost,
+		Actions: append([]graph.Action(nil), actions...),
+		Optimal: true,
+	}
+	if err := s.buildPath(res, w, Options{Record: rec}); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // ReuseFrom packages a completed search into the adaptive-A* reuse

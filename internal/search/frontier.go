@@ -1,5 +1,11 @@
 package search
 
+import (
+	"math"
+
+	"wisedb/internal/graph"
+)
+
 // bucketFrontier is the search's open list: a bucket queue over quantized
 // f-costs with an exact in-bucket order. The admissible bounds
 // (packingBound, averageBound, percentileBound) deliberately flatten huge
@@ -20,9 +26,13 @@ package search
 // consistency. Indices above maxBucketIndex clamp into the last bucket,
 // which degrades that bucket toward a plain heap but stays exact.
 type bucketFrontier struct {
-	base    float64 // f origin of bucket 0
-	inv     float64 // buckets per unit of f
-	buckets [][]*node
+	base float64 // f origin of bucket 0
+	inv  float64 // buckets per unit of f
+	// canonical switches the in-bucket order from the legacy comparator to
+	// the canonical one (eps-quantized f, then lexicographic action path) —
+	// see nodeLessCanonical.
+	canonical bool
+	buckets   [][]*node
 	// touched records each bucket index that went from empty to non-empty,
 	// so release visits only buckets a search actually used (a bucket that
 	// drains and refills appears twice; clearing is idempotent).
@@ -37,9 +47,10 @@ const maxBucketIndex = 1 << 12
 
 // init readies the frontier for a fresh search. Buckets retained from a
 // previous search (already emptied by release) keep their capacity.
-func (q *bucketFrontier) init(base, quantum float64) {
+func (q *bucketFrontier) init(base, quantum float64, canonical bool) {
 	q.base = base
 	q.inv = 1 / quantum
+	q.canonical = canonical
 	q.cursor = 0
 	q.size = 0
 }
@@ -72,13 +83,100 @@ func (q *bucketFrontier) index(f float64) int {
 	return idx
 }
 
-// nodeLess is the exact open-list order: f ascending, ties toward deeper
-// states (fewer remaining queries) to reach goals sooner among equals.
+// nodeLess is the exact legacy open-list order: f ascending, ties toward
+// deeper states (fewer remaining queries) to reach goals sooner among equals.
 func nodeLess(a, b *node) bool {
 	if a.f != b.f {
 		return a.f < b.f
 	}
 	return a.remaining < b.remaining
+}
+
+// fineInv quantizes f-costs for the canonical pop order: two f-values are
+// order-equal iff they fall in the same 1/fineInv-wide band. The band width
+// equals eps, so float-summation noise (~1e-13) between semantically equal
+// costs lands in one band while genuinely different costs land in different
+// bands; within a band the lexicographic path order decides. See the
+// canonical-search commentary in astar.go for why this makes the popped
+// schedule a pure function of (problem, workload).
+const fineInv = 1e9
+
+// nodeLessCanonical orders the open list for canonical searches:
+// eps-quantized f ascending, then lexicographically smallest action path
+// first. Within the flat f-band of the admissible bounds this degenerates
+// into a leftmost depth-first descent — each expanded node's first child is
+// lexicographically smaller than every other open node — so the canonical
+// (lex-least) optimal schedule is found without enumerating the band.
+func nodeLessCanonical(a, b *node) bool {
+	ba, bb := math.Floor(a.f*fineInv), math.Floor(b.f*fineInv)
+	if ba != bb {
+		return ba < bb
+	}
+	return pathCmp(a, b) < 0
+}
+
+// pathCmp compares the root-to-node action sequences of two open nodes
+// lexicographically without materializing them: it recurses up the parent
+// chains, aligning depths first, and compares edge actions on the way back
+// down. A path that is a proper prefix of the other orders first.
+func pathCmp(a, b *node) int {
+	if a == b || (a.parent == nil && b.parent == nil) {
+		return 0
+	}
+	if a.depth > b.depth {
+		if c := pathCmp(a.parent, b); c != 0 {
+			return c
+		}
+		return 1 // b's path is a proper prefix of a's
+	}
+	if b.depth > a.depth {
+		if c := pathCmp(a, b.parent); c != 0 {
+			return c
+		}
+		return -1
+	}
+	if c := pathCmp(a.parent, b.parent); c != 0 {
+		return c
+	}
+	return actionCmp(a.act, b.act)
+}
+
+// actionCmp is the total order on edge actions that underlies every
+// canonical tie-break: placements before start-ups, then by template, then
+// by VM type. Any fixed total order works for correctness; placements-first
+// makes the lex-least descent fill the open VM before renting another, so
+// on the flat f-band of the packing bound the canonical path tracks a
+// greedy packing and backtracks rarely. The order is stable across
+// processes and releases because it reads only the action's fields.
+func actionCmp(x, y graph.Action) int {
+	if x.Kind != y.Kind {
+		// Place orders before Startup.
+		if x.Kind > y.Kind {
+			return -1
+		}
+		return 1
+	}
+	if x.Template != y.Template {
+		if x.Template < y.Template {
+			return -1
+		}
+		return 1
+	}
+	if x.VMType != y.VMType {
+		if x.VMType < y.VMType {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// less dispatches to the order the frontier was initialized with.
+func (q *bucketFrontier) less(a, b *node) bool {
+	if q.canonical {
+		return nodeLessCanonical(a, b)
+	}
+	return nodeLess(a, b)
 }
 
 func (q *bucketFrontier) push(n *node) {
@@ -94,7 +192,7 @@ func (q *bucketFrontier) push(n *node) {
 	i := len(b) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !nodeLess(b[i], b[p]) {
+		if !q.less(b[i], b[p]) {
 			break
 		}
 		b[i], b[p] = b[p], b[i]
@@ -127,10 +225,10 @@ func (q *bucketFrontier) pop() *node {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(b) && nodeLess(b[l], b[min]) {
+		if l < len(b) && q.less(b[l], b[min]) {
 			min = l
 		}
-		if r < len(b) && nodeLess(b[r], b[min]) {
+		if r < len(b) && q.less(b[r], b[min]) {
 			min = r
 		}
 		if min == i {

@@ -19,7 +19,7 @@ func TestBucketFrontierExactOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for _, quantum := range []float64{1e-4, 0.01, 1, 1e6} {
 		var q bucketFrontier
-		q.init(0, quantum)
+		q.init(0, quantum, false)
 		var ref []*node
 		push := func(n *node) {
 			q.push(n)

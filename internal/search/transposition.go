@@ -1,6 +1,8 @@
 package search
 
 import (
+	"bytes"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -168,27 +170,79 @@ func (c *TranspositionCache) Commit(p *PendingSuffixes) {
 	p.recs = p.recs[:0]
 }
 
-// lexLessActions orders action sequences lexicographically by
-// (Kind, Template, VMType), shorter prefix first. It is the canonical
-// tie-break among equal-cost suffixes.
+// lexLessActions orders action sequences lexicographically under actionCmp
+// (the same total order the canonical search's tie-breaks use — the cache's
+// kept suffix must be the one the canonical search would choose), shorter
+// prefix first. It is the canonical tie-break among equal-cost suffixes.
 func lexLessActions(a, b []graph.Action) bool {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			x, y := a[i], b[i]
-			if x.Kind != y.Kind {
-				return x.Kind < y.Kind
-			}
-			if x.Template != y.Template {
-				return x.Template < y.Template
-			}
-			return x.VMType < y.VMType
+	return lexCmpActions(a, b) < 0
+}
+
+// CacheEntry is one exported solved-suffix subproblem: the state signature
+// it completes, the minimum cost-to-go, and the canonical optimal action
+// suffix. Entries round-trip through Export/Import so a cache can travel
+// across epochs and through checkpoints.
+type CacheEntry struct {
+	Sig     []byte
+	Cost    float64
+	Actions []graph.Action
+}
+
+// Export snapshots the cache's entries in signature order (a canonical,
+// content-deterministic order: two caches with equal contents export equal
+// slices regardless of commit history). If max > 0 at most max entries are
+// returned, truncated from the sorted order — still deterministic, so a
+// persisted cache is a pure function of the cache contents. The returned
+// slices alias the cache's immutable internals and must not be mutated.
+func (c *TranspositionCache) Export(max int) []CacheEntry {
+	var out []CacheEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for sig, e := range s.m {
+			out = append(out, CacheEntry{Sig: []byte(sig), Cost: e.cost, Actions: e.actions})
 		}
+		s.mu.RUnlock()
 	}
-	return len(a) < len(b)
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Sig, out[j].Sig) < 0 })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Import merges exported entries into the cache with the same canonical
+// merge Commit uses, so importing is commutative with concurrent Commits
+// and idempotent. The entries' slices are retained; they must stay
+// immutable.
+func (c *TranspositionCache) Import(entries []CacheEntry) {
+	for _, r := range entries {
+		s := &c.shards[shardOf(r.Sig)]
+		sig := string(r.Sig)
+		s.mu.Lock()
+		e, ok := s.m[sig]
+		if !ok || r.Cost < e.cost-eps || (r.Cost <= e.cost+eps && lexLessActions(r.Actions, e.actions)) {
+			s.m[sig] = suffixEntry{cost: r.Cost, actions: r.Actions}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Clone returns an independent cache with the same entries. Entry slices
+// are shared (immutable by contract); lifetime counters start at zero. A
+// warm retrain clones the prior epoch's cache so its own commits never
+// mutate the epoch snapshot it started from.
+func (c *TranspositionCache) Clone() *TranspositionCache {
+	n := NewTranspositionCache()
+	for i := range c.shards {
+		src, dst := &c.shards[i], &n.shards[i]
+		src.mu.RLock()
+		for sig, e := range src.m {
+			dst.m[sig] = e
+		}
+		src.mu.RUnlock()
+	}
+	return n
 }
 
 // addCounters folds one search's lookup counters into the cache stats.

@@ -8,7 +8,7 @@
 //
 //	offset  size  field
 //	0       4     magic "WSDB"
-//	4       2     format version (uint16, currently 1)
+//	4       2     format version (uint16, see FormatVersion)
 //	6       2     flags (uint16, reserved, zero)
 //	8       4     section count (uint32)
 //	12      24×n  section table: {id u32, crc32 u32, offset u64, length u64}
@@ -42,10 +42,22 @@ import (
 const Magic = "WSDB"
 
 // FormatVersion is the container format version this package writes. The
-// golden-file test in this package pins the byte-exact encoding of version
-// 1; any change to the encoding must bump this constant (readers for old
-// versions stay supported explicitly, never accidentally).
-const FormatVersion = 1
+// golden-file test in this package pins the byte-exact encoding of the
+// current version; any change to the encoding must bump this constant
+// (readers for old versions stay supported explicitly, never accidentally).
+//
+// Version history:
+//
+//	1  initial format; model content hash covers every section including
+//	   retained training data
+//	2  canonical-search encoding: adds the optional transposition-cache
+//	   section to model files, splits the model hash into a serving-content
+//	   hash (goal/env/mix/tree) and an auxiliary hash (training data +
+//	   cache), and appends warm/cold sample counters to the meta section
+const FormatVersion = 2
+
+// MinFormatVersion is the oldest container version ParseContainer accepts.
+const MinFormatVersion = 1
 
 // Typed decode errors. Decoders wrap these (errors.Is matches), adding
 // context about which section or field was bad.
@@ -125,9 +137,15 @@ func (b *Builder) Bytes() []byte {
 // input bounds, with payload checksums verified lazily per section access.
 type Container struct {
 	data     []byte
+	version  uint16
 	sections []SectionInfo
 	offsets  []uint64
 }
+
+// Version returns the container's format version (between MinFormatVersion
+// and FormatVersion; ParseContainer rejects anything else). Payload decoders
+// branch on it to read old layouts.
+func (c *Container) Version() uint16 { return c.version }
 
 // ParseContainer validates the header and section table of data. Payload
 // bytes are referenced, not copied; checksum verification happens in
@@ -143,8 +161,8 @@ func ParseContainer(data []byte) (*Container, error) {
 		return nil, fmt.Errorf("%w: %d-byte header", ErrTruncated, len(data))
 	}
 	version := binary.LittleEndian.Uint16(data[4:])
-	if version != FormatVersion {
-		return nil, fmt.Errorf("%w: file has version %d, reader supports %d", ErrVersion, version, FormatVersion)
+	if version < MinFormatVersion || version > FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, reader supports %d..%d", ErrVersion, version, MinFormatVersion, FormatVersion)
 	}
 	// The count bound makes the table allocation proportional to the
 	// input: a file claiming 2^31 sections but holding 50 bytes fails
@@ -157,6 +175,7 @@ func ParseContainer(data []byte) (*Container, error) {
 	count := int(rawCount)
 	c := &Container{
 		data:     data,
+		version:  version,
 		sections: make([]SectionInfo, count),
 		offsets:  make([]uint64, count),
 	}

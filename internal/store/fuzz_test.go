@@ -29,11 +29,16 @@ func typedDecodeError(err error) bool {
 // Run locally with: go test ./internal/store -fuzz FuzzDecodeModel
 // CI runs it as a bounded smoke (-fuzztime 30s).
 func FuzzDecodeModel(f *testing.F) {
-	golden, err := os.ReadFile(goldenPath)
+	golden, err := os.ReadFile(goldenV1Path)
 	if err != nil {
 		f.Fatalf("golden fixture missing: %v", err)
 	}
 	f.Add(golden)
+	if v2, err := os.ReadFile(goldenV2Path); err == nil {
+		// Seed the current format too: it carries the cache section and
+		// the split content/aux hashes the v1 fixture cannot exercise.
+		f.Add(v2)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("WSDB"))
 	f.Add([]byte("WSDBxxxxxxxxxxxxxxxxxxx"))
@@ -99,7 +104,7 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	if !*update {
 		t.Skip("corpus regeneration runs with -update")
 	}
-	golden, err := os.ReadFile(goldenPath)
+	golden, err := os.ReadFile(goldenV1Path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,6 +117,9 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		"seed_truncated_mid": golden[:len(golden)/2],
 		"seed_crc_flip":      func() []byte { b := append([]byte(nil), golden...); b[len(b)-9] ^= 0xFF; return b }(),
 		"seed_header_only":   golden[:12],
+	}
+	if v2, err := os.ReadFile(goldenV2Path); err == nil {
+		seeds["seed_valid_v2"] = v2
 	}
 	for name, data := range seeds {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))

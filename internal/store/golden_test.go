@@ -12,17 +12,22 @@ import (
 	"wisedb/internal/core"
 	"wisedb/internal/schedule"
 	"wisedb/internal/sla"
+	"wisedb/internal/store"
 	"wisedb/internal/workload"
 )
 
 var update = flag.Bool("update", false, "regenerate golden fixtures (only when bumping the format version)")
 
-const goldenPath = "testdata/model_v1.wsdb"
+const (
+	goldenV1Path = "testdata/model_v1.wsdb"
+	goldenV2Path = "testdata/model_v2.wsdb"
+)
 
 // goldenModel trains the fixture model: tiny and fully deterministic
 // (training is bit-identical at any parallelism; every parameter is
 // pinned). It retains training data so the fixture exercises every section
-// of the format, including the adaptive-A* closed sets.
+// of the format, including the adaptive-A* closed sets and — since format
+// v2 — the persisted transposition cache.
 func goldenModel(t testing.TB) *core.Model {
 	t.Helper()
 	env := schedule.NewEnv(workload.DefaultTemplates(3), cloud.DefaultVMTypes(2))
@@ -44,78 +49,141 @@ func goldenModel(t testing.TB) *core.Model {
 	return m
 }
 
-// The golden-file compatibility pin, in both directions:
-//
-//  1. Reader compatibility — today's reader must load the committed v1
-//     fixture and reproduce it byte-exactly on re-encode. Breaking this
-//     breaks every model file in production.
-//  2. Writer stability — encoding the fixture's model today must produce
-//     the committed bytes. If an intentional encoding change trips this,
-//     bump store.FormatVersion, keep a reader for v1, and regenerate the
-//     fixture with -update; silently shifting the meaning of version 1
-//     is the one thing a versioned format must never do.
+// Reader compatibility with format v1: today's reader must still load the
+// committed v1 fixture — breaking this breaks every model file written
+// before the v2 bump. The fixture was written by the v1 encoder (single
+// hash over all five payloads, no cache section) and can no longer be
+// regenerated: today's trainer produces different (canonical-search) trees
+// and today's writer produces v2 containers. The committed bytes ARE the
+// compatibility surface; -update deliberately does not touch them.
 func TestGoldenModelV1(t *testing.T) {
+	golden, err := os.ReadFile(goldenV1Path)
+	if err != nil {
+		t.Fatalf("missing committed v1 fixture (it cannot be regenerated): %v", err)
+	}
+	c, err := store.ParseContainer(golden)
+	if err != nil {
+		t.Fatalf("today's container parser rejects the v1 fixture: %v", err)
+	}
+	if c.Version() != 1 {
+		t.Fatalf("v1 fixture parses as version %d", c.Version())
+	}
+	lm, err := core.DecodeModel(golden)
+	if err != nil {
+		t.Fatalf("today's reader cannot load the v1 fixture: %v", err)
+	}
+	if lm.Tree == nil || len(lm.TrainingMix()) != 0 && len(lm.TrainingMix()) != 3 {
+		t.Fatalf("v1 fixture decoded into a hollow model: %+v", lm)
+	}
+	// The loaded model must be fully serviceable — re-encodable (as v2;
+	// the writer never emits v1) and decodable again to the same tree.
+	back, err := core.EncodeModel(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := store.ParseContainer(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Version() != store.FormatVersion {
+		t.Fatalf("re-encoding a v1 model produced version %d, want %d", rc.Version(), store.FormatVersion)
+	}
+	lm2, err := core.DecodeModel(back)
+	if err != nil {
+		t.Fatalf("v1→v2 round trip does not decode: %v", err)
+	}
+	if lm2.Dump() != lm.Dump() {
+		t.Fatal("v1→v2 round trip changed the decision tree")
+	}
+}
+
+// The golden-file pin for the current format, in both directions:
+//
+//  1. Writer stability — encoding the fixture's model today must produce
+//     the committed v2 bytes. If an intentional encoding change trips
+//     this, bump store.FormatVersion, keep a reader for v2, and regenerate
+//     with -update; silently shifting the meaning of version 2 is the one
+//     thing a versioned format must never do.
+//  2. Reader compatibility — today's reader must load the fixture and
+//     reproduce it byte-exactly on re-encode.
+func TestGoldenModelV2(t *testing.T) {
 	m := goldenModel(t)
 	data, err := core.EncodeModel(m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(goldenV2Path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+		if err := os.WriteFile(goldenV2Path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("regenerated %s (%d bytes) — commit it together with the FormatVersion bump", goldenPath, len(data))
+		t.Logf("regenerated %s (%d bytes) — commit it together with the FormatVersion bump", goldenV2Path, len(data))
 	}
-	golden, err := os.ReadFile(goldenPath)
+	golden, err := os.ReadFile(goldenV2Path)
 	if err != nil {
 		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
 	}
 
 	if !bytes.Equal(data, golden) {
-		t.Fatalf("the v1 encoding drifted: encoding the fixture model produced %d bytes that differ from the committed %d-byte fixture.\n"+
-			"If this change is intentional, bump store.FormatVersion (keeping a reader for v1) and regenerate with:\n"+
-			"  go test ./internal/store -run TestGoldenModelV1 -update", len(data), len(golden))
+		t.Fatalf("the v2 encoding drifted: encoding the fixture model produced %d bytes that differ from the committed %d-byte fixture.\n"+
+			"If this change is intentional, bump store.FormatVersion (keeping a reader for v2) and regenerate with:\n"+
+			"  go test ./internal/store -run TestGoldenModelV2 -update", len(data), len(golden))
 	}
 
 	lm, err := core.DecodeModel(golden)
 	if err != nil {
-		t.Fatalf("today's reader cannot load the v1 fixture: %v", err)
+		t.Fatalf("today's reader cannot load the v2 fixture: %v", err)
 	}
 	back, err := core.EncodeModel(lm)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(back, golden) {
-		t.Fatal("loading the v1 fixture and re-encoding does not reproduce it byte-exactly")
+		t.Fatal("loading the v2 fixture and re-encoding does not reproduce it byte-exactly")
 	}
 	if lm.Dump() != m.Dump() {
 		t.Fatal("fixture model's tree differs after loading")
 	}
 }
 
-// The fixture must also be inspectable without decoding its tree.
+// Both fixtures must be inspectable without decoding their trees, each
+// reporting its own format version and section inventory.
 func TestGoldenModelInspect(t *testing.T) {
-	golden, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Skip("golden fixture missing")
-	}
-	info, err := core.InspectModel(golden)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if info.Config.Seed != 42 || info.Config.NumSamples != 20 || info.Config.SampleSize != 4 {
-		t.Fatalf("inspected provenance wrong: %+v", info.Config)
-	}
-	if len(info.Templates) != 3 || len(info.VMTypes) != 2 {
-		t.Fatalf("inspected environment wrong: %d templates, %d VM types", len(info.Templates), len(info.VMTypes))
-	}
-	if info.Goal.Name() != "Max" {
-		t.Fatalf("inspected goal %q", info.Goal.Name())
-	}
-	if !info.HasTrainingData || info.Hash == 0 {
-		t.Fatalf("inspection missed sections: %+v", info)
+	for _, tc := range []struct {
+		path     string
+		version  uint16
+		hasCache bool
+	}{
+		{goldenV1Path, 1, false},
+		{goldenV2Path, 2, true},
+	} {
+		golden, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Skipf("golden fixture %s missing", tc.path)
+		}
+		info, err := core.InspectModel(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.FormatVersion != tc.version {
+			t.Fatalf("%s: inspected version %d, want %d", tc.path, info.FormatVersion, tc.version)
+		}
+		if info.Config.Seed != 42 || info.Config.NumSamples != 20 || info.Config.SampleSize != 4 {
+			t.Fatalf("%s: inspected provenance wrong: %+v", tc.path, info.Config)
+		}
+		if len(info.Templates) != 3 || len(info.VMTypes) != 2 {
+			t.Fatalf("%s: inspected environment wrong: %d templates, %d VM types", tc.path, len(info.Templates), len(info.VMTypes))
+		}
+		if info.Goal.Name() != "Max" {
+			t.Fatalf("%s: inspected goal %q", tc.path, info.Goal.Name())
+		}
+		if !info.HasTrainingData || info.Hash == 0 {
+			t.Fatalf("%s: inspection missed sections: %+v", tc.path, info)
+		}
+		if info.HasSearchCache != tc.hasCache {
+			t.Fatalf("%s: HasSearchCache=%v, want %v", tc.path, info.HasSearchCache, tc.hasCache)
+		}
 	}
 }

@@ -41,6 +41,21 @@ type Lineage struct {
 	// detect partially written or bit-rotted files.
 	Size int64  `json:"size"`
 	CRC  uint32 `json:"crc"`
+
+	// RetrainMS is the wall time of the retrain that produced this epoch,
+	// in milliseconds; zero for non-retrain installs and for manifests
+	// written before the warm-retrain format (the fields below are all
+	// omitempty, so old manifests round-trip unchanged).
+	RetrainMS int64 `json:"retrain_ms,omitempty"`
+	// WarmSamples and ColdSamples split the retrain's sample workloads into
+	// those replayed from the prior epoch's retained search data and those
+	// solved fresh. Both zero for cold (or pre-warm-format) epochs.
+	WarmSamples int `json:"warm_samples,omitempty"`
+	ColdSamples int `json:"cold_samples,omitempty"`
+	// CacheHits and CacheMisses are the retrain's transposition-cache
+	// lookup counters (cross-epoch reuse shows up as a high hit rate).
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 }
 
 // manifest is the MANIFEST file: the store's source of truth. An epoch file
@@ -135,8 +150,8 @@ func (s *ModelStore) recover() error {
 			// damage the operator must look at, not a recoverable state.
 			return fmt.Errorf("store: MANIFEST is unreadable (not a crash artifact): %w", err)
 		}
-		if m.FormatVersion != FormatVersion {
-			return fmt.Errorf("%w: MANIFEST has version %d, reader supports %d", ErrVersion, m.FormatVersion, FormatVersion)
+		if m.FormatVersion < MinFormatVersion || m.FormatVersion > FormatVersion {
+			return fmt.Errorf("%w: MANIFEST has version %d, reader supports %d..%d", ErrVersion, m.FormatVersion, MinFormatVersion, FormatVersion)
 		}
 	case os.IsNotExist(err):
 		m = manifest{FormatVersion: FormatVersion}

@@ -41,8 +41,34 @@ func (s *Sampler) Uniform(m int) *Workload {
 // probability proportional to weights[i]. It is used to produce skewed
 // runtime workloads (§7.5).
 func (s *Sampler) Weighted(m int, weights []float64) *Workload {
+	w, _ := s.WeightedVariates(m, weights)
+	return w
+}
+
+// WeightedVariates is Weighted, additionally returning the unit variates
+// consumed — one per query, in query order. The draw is a pure function of
+// (variates, weights): WeightedFromVariates rebins the same variates under
+// different weights without reconstructing the sampler, which is how a
+// warm retrain re-draws every sample workload under a drifted mix without
+// paying 500 rand-source seedings (see core's WarmTrain).
+func (s *Sampler) WeightedVariates(m int, weights []float64) (*Workload, []float64) {
 	if len(weights) != len(s.templates) {
 		panic(fmt.Sprintf("workload: Weighted got %d weights for %d templates", len(weights), len(s.templates)))
+	}
+	variates := make([]float64, m)
+	for i := range variates {
+		variates[i] = s.rng.Float64()
+	}
+	return WeightedFromVariates(s.templates, variates, weights), variates
+}
+
+// WeightedFromVariates maps unit variates to a workload under weights with
+// exactly the inverse-CDF walk Weighted uses: variate i drawn by one
+// sampler produces the identical query Weighted would have drawn at
+// position i under the same weights.
+func WeightedFromVariates(templates []Template, variates, weights []float64) *Workload {
+	if len(weights) != len(templates) {
+		panic(fmt.Sprintf("workload: Weighted got %d weights for %d templates", len(weights), len(templates)))
 	}
 	total := 0.0
 	for _, w := range weights {
@@ -54,9 +80,9 @@ func (s *Sampler) Weighted(m int, weights []float64) *Workload {
 	if total <= 0 {
 		panic("workload: Weighted requires a positive weight sum")
 	}
-	queries := make([]Query, m)
-	for i := range queries {
-		r := s.rng.Float64() * total
+	queries := make([]Query, len(variates))
+	for i, u := range variates {
+		r := u * total
 		id := len(weights) - 1
 		for j, w := range weights {
 			if r < w {
@@ -67,7 +93,7 @@ func (s *Sampler) Weighted(m int, weights []float64) *Workload {
 		}
 		queries[i] = Query{TemplateID: id, Tag: i}
 	}
-	return &Workload{Templates: s.templates, Queries: queries}
+	return &Workload{Templates: templates, Queries: queries}
 }
 
 // SkewWeights returns a template weight vector that interpolates between the
