@@ -108,10 +108,11 @@ func run() int {
 		"fig22": wrap(cfg.Fig22),
 		// Serving-at-scale experiments (beyond the paper; EXPERIMENTS.md
 		// "Serving at scale").
-		"serve":    wrap(cfg.ServeThroughput),
-		"recovery": wrap(cfg.ServeRecovery),
-		"scaleout": wrap(cfg.ServeScaleOut),
-		"chaos":    wrap(cfg.Chaos),
+		"serve":     wrap(cfg.ServeThroughput),
+		"recovery":  wrap(cfg.ServeRecovery),
+		"scaleout":  wrap(cfg.ServeScaleOut),
+		"chaos":     wrap(cfg.Chaos),
+		"scenarios": wrap(cfg.Scenarios),
 	}
 
 	args := flag.Args()
@@ -177,5 +178,7 @@ Serving-at-scale experiments (beyond the paper):
   recovery  injected mix shift: drift detection via EMD + model hot-swap recovery
   scaleout  sharded engine: 1 -> 10k tenant streams, sharded vs unsharded arrivals/sec
   chaos     fault injection: VM failures, breaker-tripping retrains, degraded fallback
+  scenarios trace-driven scenario catalog: Poisson/Pareto/diurnal/flash-crowd arrivals,
+            gold-bronze priority tiers, spot-style time-varying VM prices
 `)
 }

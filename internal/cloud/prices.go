@@ -1,0 +1,164 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// PriceStep is one segment of a piecewise-constant price schedule: from
+// Start (inclusive) until the next step's Start, every VM type's prices are
+// scaled by Multiplier.
+type PriceStep struct {
+	// Start is when the step takes effect, in simulation time.
+	Start time.Duration
+	// Multiplier scales both the start-up fee and the per-hour processing
+	// rate of every VM type while the step is in effect. Must be positive.
+	Multiplier float64
+}
+
+// PriceSchedule is a spot-style time-varying price path: a piecewise-
+// constant multiplier over the base VM prices (Eq. 1's f_s and f_r). The
+// cost side of the scheduling objective becomes dynamic: a VM leased across
+// a price step is charged per the schedule in effect over each part of its
+// lease — never at a rate snapshotted when it was rented.
+//
+// A nil *PriceSchedule is valid everywhere and means flat base prices
+// (multiplier 1 forever). A PriceSchedule is immutable once built and safe
+// for concurrent use; At and EffectiveHours are allocation-free, so they may
+// sit on the per-arrival serving path.
+type PriceSchedule struct {
+	steps []PriceStep
+}
+
+// NewPriceSchedule builds a schedule from steps ordered by Start. The first
+// step must start at 0 (prices are defined from the beginning of time) and
+// every multiplier must be positive.
+func NewPriceSchedule(steps ...PriceStep) *PriceSchedule {
+	if len(steps) == 0 {
+		panic("cloud: NewPriceSchedule requires at least one step")
+	}
+	if steps[0].Start != 0 {
+		panic(fmt.Sprintf("cloud: price schedule must start at 0, got %s", steps[0].Start))
+	}
+	for i, s := range steps {
+		if s.Multiplier <= 0 {
+			panic(fmt.Sprintf("cloud: price step %d has non-positive multiplier %g", i, s.Multiplier))
+		}
+		if i > 0 && s.Start <= steps[i-1].Start {
+			panic(fmt.Sprintf("cloud: price steps not strictly increasing at %d (%s after %s)", i, s.Start, steps[i-1].Start))
+		}
+	}
+	return &PriceSchedule{steps: append([]PriceStep(nil), steps...)}
+}
+
+// Spot returns a deterministic spot-style price path: n steps of the given
+// period whose multipliers follow a seeded bounded random walk in
+// [min, max]. The walk is a pure function of its arguments — identical
+// inputs reproduce the identical schedule, so scenario runs priced by it
+// are bit-reproducible. After the last step the final multiplier holds
+// forever.
+func Spot(seed int64, period time.Duration, n int, min, max float64) *PriceSchedule {
+	if n <= 0 {
+		panic("cloud: Spot requires n > 0")
+	}
+	if period <= 0 {
+		panic("cloud: Spot requires a positive period")
+	}
+	if min <= 0 || max < min {
+		panic(fmt.Sprintf("cloud: Spot requires 0 < min <= max, got [%g, %g]", min, max))
+	}
+	steps := make([]PriceStep, n)
+	m := (min + max) / 2
+	stride := (max - min) / 4
+	for i := range steps {
+		u := unit(splitmix64(uint64(seed) ^ uint64(i)*0x9e3779b97f4a7c15))
+		m += stride * (2*u - 1)
+		if m < min {
+			m = min
+		}
+		if m > max {
+			m = max
+		}
+		steps[i] = PriceStep{Start: time.Duration(i) * period, Multiplier: m}
+	}
+	return &PriceSchedule{steps: steps}
+}
+
+// Steps returns a copy of the schedule's steps, for inspection and tables.
+func (p *PriceSchedule) Steps() []PriceStep {
+	if p == nil {
+		return []PriceStep{{Start: 0, Multiplier: 1}}
+	}
+	return append([]PriceStep(nil), p.steps...)
+}
+
+// At returns the multiplier in effect at time t. Times before the first
+// step (negative t) take the first step's multiplier. Allocation-free; a
+// nil schedule returns 1.
+func (p *PriceSchedule) At(t time.Duration) float64 {
+	if p == nil {
+		return 1
+	}
+	// Binary search for the last step with Start <= t.
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].Start > t })
+	if i == 0 {
+		return p.steps[0].Multiplier
+	}
+	return p.steps[i-1].Multiplier
+}
+
+// EffectiveHours integrates the multiplier over [start, end) and returns the
+// result in price-weighted hours: charging RatePerHour × EffectiveHours
+// prices each part of the interval at the multiplier in effect there. A nil
+// schedule returns the plain duration in hours.
+func (p *PriceSchedule) EffectiveHours(start, end time.Duration) float64 {
+	if end <= start {
+		return 0
+	}
+	if p == nil {
+		return (end - start).Hours()
+	}
+	total := 0.0
+	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].Start > start })
+	if i > 0 {
+		i--
+	}
+	for ; i < len(p.steps); i++ {
+		segStart := p.steps[i].Start
+		if segStart < start {
+			segStart = start
+		}
+		segEnd := end
+		if i+1 < len(p.steps) && p.steps[i+1].Start < segEnd {
+			segEnd = p.steps[i+1].Start
+		}
+		if segEnd > segStart {
+			total += (segEnd - segStart).Hours() * p.steps[i].Multiplier
+		}
+		if i+1 >= len(p.steps) || p.steps[i+1].Start >= end {
+			break
+		}
+	}
+	return total
+}
+
+// RunCost returns the processing fee for running on vt over [start, end)
+// under the schedule: f_r integrated against the multiplier path.
+func (p *PriceSchedule) RunCost(vt VMType, start, end time.Duration) float64 {
+	return vt.RatePerHour * p.EffectiveHours(start, end)
+}
+
+// StartupFee returns vt's start-up fee at time at: f_s scaled by the
+// multiplier in effect at the rent instant (the fee is charged once, when
+// the VM is provisioned).
+func (p *PriceSchedule) StartupFee(vt VMType, at time.Duration) float64 {
+	return vt.StartupCost * p.At(at)
+}
+
+// SetPrices arms the simulator with a time-varying price schedule: cost
+// accounting (ProvisioningCost) charges each VM per the schedule in effect
+// across its whole lease. A nil schedule restores flat base prices. Call
+// before accounting; the schedule does not alter execution timing, only
+// money.
+func (s *Sim) SetPrices(p *PriceSchedule) { s.prices = p }

@@ -1,0 +1,157 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func flatType() VMType {
+	return VMType{ID: 0, Name: "flat", StartupCost: 10, RatePerHour: 60, HighRAMMultiplier: 1, SupportsHighRAM: true}
+}
+
+func TestPriceScheduleAt(t *testing.T) {
+	p := NewPriceSchedule(
+		PriceStep{Start: 0, Multiplier: 1},
+		PriceStep{Start: time.Hour, Multiplier: 3},
+		PriceStep{Start: 2 * time.Hour, Multiplier: 0.5},
+	)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 1}, {30 * time.Minute, 1}, {time.Hour, 3}, {90 * time.Minute, 3},
+		{2 * time.Hour, 0.5}, {100 * time.Hour, 0.5},
+	}
+	for _, c := range cases {
+		if got := p.At(c.at); got != c.want {
+			t.Fatalf("At(%s) = %g, want %g", c.at, got, c.want)
+		}
+	}
+	var nilSched *PriceSchedule
+	if got := nilSched.At(time.Hour); got != 1 {
+		t.Fatalf("nil schedule At = %g, want 1", got)
+	}
+	if got := nilSched.EffectiveHours(0, 90*time.Minute); got != 1.5 {
+		t.Fatalf("nil schedule EffectiveHours = %g, want 1.5", got)
+	}
+}
+
+func TestPriceScheduleEffectiveHours(t *testing.T) {
+	p := NewPriceSchedule(
+		PriceStep{Start: 0, Multiplier: 1},
+		PriceStep{Start: time.Hour, Multiplier: 2},
+		PriceStep{Start: 3 * time.Hour, Multiplier: 4},
+	)
+	cases := []struct {
+		start, end time.Duration
+		want       float64
+	}{
+		{0, time.Hour, 1},                                // single segment
+		{30 * time.Minute, 90 * time.Minute, 1.5},        // spans one step: 0.5×1 + 0.5×2
+		{0, 4 * time.Hour, 9},                            // 1×1 + 2×2 + 1×4
+		{2 * time.Hour, 2*time.Hour + 30*time.Minute, 1}, // inside segment 2
+		{5 * time.Hour, 6 * time.Hour, 4},                // past the last step
+		{time.Hour, time.Hour, 0},                        // empty interval
+	}
+	for _, c := range cases {
+		if got := p.EffectiveHours(c.start, c.end); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("EffectiveHours(%s, %s) = %g, want %g", c.start, c.end, got, c.want)
+		}
+	}
+}
+
+// The satellite regression: a VM leased across a price step must be charged
+// per the schedule in effect over each part of its lease. Snapshotting the
+// price at rent time — the natural bug — would charge the whole run at the
+// cheap multiplier the VM was rented under.
+func TestSimChargesLeaseAcrossPriceSteps(t *testing.T) {
+	vt := flatType() // 60¢/hr, 10¢ start-up, zero startup delay
+	p := NewPriceSchedule(
+		PriceStep{Start: 0, Multiplier: 1},
+		PriceStep{Start: time.Hour, Multiplier: 3},
+	)
+	s := NewSim()
+	s.SetPrices(p)
+	vm := s.Rent(vt, 30*time.Minute)
+	vm.Enqueue(0, 0, 30*time.Minute, time.Hour) // runs [30m, 90m): half cheap, half 3x
+	s.Finish()
+
+	// start-up at t=30m (mult 1) + 60¢/hr × (0.5h×1 + 0.5h×3) = 10 + 120.
+	want := 10.0 + 60*(0.5+1.5)
+	got := s.ProvisioningCost()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("lease across price step charged %g¢, want %g¢ (snapshot-at-rent would be %g¢)",
+			got, want, 10.0+60*1.0)
+	}
+}
+
+// The start-up fee is charged at the rent instant's multiplier, and a flat
+// all-1.0 schedule reproduces the unpriced accounting bit-exactly.
+func TestSimPriceAccountingEdges(t *testing.T) {
+	vt := flatType()
+	build := func(p *PriceSchedule) *Sim {
+		s := NewSim()
+		s.SetPrices(p)
+		vm := s.Rent(vt, 2*time.Hour) // rented in the expensive window
+		vm.Enqueue(0, 0, 2*time.Hour, 30*time.Minute)
+		s.Finish()
+		return s
+	}
+	spike := NewPriceSchedule(
+		PriceStep{Start: 0, Multiplier: 1},
+		PriceStep{Start: time.Hour, Multiplier: 5},
+	)
+	got := build(spike).ProvisioningCost()
+	want := 10.0*5 + 60*0.5*5
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("expensive-window rent charged %g¢, want %g¢", got, want)
+	}
+
+	flat := NewPriceSchedule(PriceStep{Start: 0, Multiplier: 1})
+	if a, b := build(flat).ProvisioningCost(), build(nil).ProvisioningCost(); a != b {
+		t.Fatalf("all-1.0 schedule %g¢ != unpriced %g¢", a, b)
+	}
+}
+
+// Spot paths are pure functions of their inputs, stay in bounds, and hold
+// their last multiplier forever.
+func TestSpotDeterministicAndBounded(t *testing.T) {
+	a := Spot(7, time.Hour, 48, 0.5, 2.0)
+	b := Spot(7, time.Hour, 48, 0.5, 2.0)
+	sa, sb := a.Steps(), b.Steps()
+	if len(sa) != 48 {
+		t.Fatalf("want 48 steps, got %d", len(sa))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same-seed spot paths diverge at step %d: %+v vs %+v", i, sa[i], sb[i])
+		}
+		if sa[i].Multiplier < 0.5 || sa[i].Multiplier > 2.0 {
+			t.Fatalf("step %d multiplier %g out of [0.5, 2.0]", i, sa[i].Multiplier)
+		}
+		if sa[i].Start != time.Duration(i)*time.Hour {
+			t.Fatalf("step %d starts at %s, want %s", i, sa[i].Start, time.Duration(i)*time.Hour)
+		}
+	}
+	if c := Spot(8, time.Hour, 48, 0.5, 2.0).Steps(); c[10] == sa[10] && c[20] == sa[20] && c[30] == sa[30] {
+		t.Fatal("different seeds should draw different paths")
+	}
+	if last, beyond := a.At(47*time.Hour), a.At(1000*time.Hour); last != beyond {
+		t.Fatalf("final multiplier must hold forever: %g vs %g", last, beyond)
+	}
+}
+
+// EffectiveHours is allocation-free: it sits on cost paths called once per
+// VM per accounting pass, and the serving engine's price lookups must not
+// break the 0 allocs/arrival pin.
+func TestPriceLookupsAllocFree(t *testing.T) {
+	p := Spot(3, time.Hour, 24, 0.5, 2.0)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = p.At(13 * time.Hour)
+		_ = p.EffectiveHours(90*time.Minute, 7*time.Hour)
+	})
+	if allocs != 0 {
+		t.Fatalf("price lookups allocate %.1f/op, want 0", allocs)
+	}
+}

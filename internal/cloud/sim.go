@@ -16,6 +16,7 @@ import (
 type Sim struct {
 	vms    []*SimVM
 	faults *FaultPlan
+	prices *PriceSchedule
 	rents  int
 }
 
@@ -197,15 +198,34 @@ func (s *Sim) Finish() []Run {
 // ProvisioningCost returns the Eq. 1 cost of the simulation excluding
 // penalties: each VM's start-up fee plus its processing fees (f_r × executed
 // latency). Call after Finish (or at any point for the cost so far).
+//
+// Under a time-varying price schedule (SetPrices), each VM is charged per
+// the schedule in effect across its whole lease: the start-up fee at the
+// rent instant's multiplier, and every run's processing fee integrated
+// against the multiplier path over the run's actual execution window — a
+// lease spanning a price step pays each segment at that segment's price,
+// never a rate snapshotted at rent time. Still-queued (unmaterialized) work
+// is estimated at its enqueue instant's multiplier; call after Finish for
+// exact accounting.
 func (s *Sim) ProvisioningCost() float64 {
 	total := 0.0
 	for _, vm := range s.vms {
-		total += vm.Type.StartupCost
+		if s.prices == nil {
+			total += vm.Type.StartupCost
+			for _, r := range vm.runs {
+				total += vm.Type.RunningCost(r.End - r.Start)
+			}
+			for _, q := range vm.queue {
+				total += vm.Type.RunningCost(q.latency)
+			}
+			continue
+		}
+		total += s.prices.StartupFee(vm.Type, vm.RentedAt)
 		for _, r := range vm.runs {
-			total += vm.Type.RunningCost(r.End - r.Start)
+			total += s.prices.RunCost(vm.Type, r.Start, r.End)
 		}
 		for _, q := range vm.queue {
-			total += vm.Type.RunningCost(q.latency)
+			total += s.prices.At(q.at) * vm.Type.RunningCost(q.latency)
 		}
 	}
 	return total

@@ -32,7 +32,7 @@ import (
 // time and O(1) amortized allocations per query, at any number of
 // concurrent callers.
 func (m *Model) ScheduleBatch(w *workload.Workload) (*schedule.Schedule, error) {
-	sched, _, err := m.scheduleBatchInto(w, nil, nil)
+	sched, _, err := m.scheduleBatchInto(w, nil, nil, 1)
 	return sched, err
 }
 
@@ -44,7 +44,15 @@ func (m *Model) ScheduleBatch(w *workload.Workload) (*schedule.Schedule, error) 
 // allocations per call. Nil dst/backing allocate fresh storage, which is
 // exactly ScheduleBatch. The returned backing must be passed back in on the
 // next call.
-func (m *Model) scheduleBatchInto(w *workload.Workload, dst *schedule.Schedule, backing []schedule.Placed) (*schedule.Schedule, []schedule.Placed, error) {
+//
+// priceMult is the VM price multiplier in effect at the event being
+// scheduled (cloud.PriceSchedule.At of the arrival instant; 1 for flat
+// prices). It scales the monetary side of the dominated-placement guard —
+// start-up and processing fees — while SLA penalty deltas stay unscaled, so
+// the fresh-VM comparison stays coherent with what Sim's lease accounting
+// will actually charge. At 1 the guard arithmetic is bit-identical to the
+// unpriced path.
+func (m *Model) scheduleBatchInto(w *workload.Workload, dst *schedule.Schedule, backing []schedule.Placed, priceMult float64) (*schedule.Schedule, []schedule.Placed, error) {
 	k := len(m.env.Templates)
 	if len(w.Templates) != k {
 		return nil, backing, fmt.Errorf("core: workload has %d templates, model expects %d", len(w.Templates), k)
@@ -75,7 +83,14 @@ func (m *Model) scheduleBatchInto(w *workload.Workload, dst *schedule.Schedule, 
 			if cur >= features.Infinite {
 				cur, _ = m.prob.PlacementCost(state, act.Template)
 			}
-			act = m.guardWithCost(state, act, cur)
+			if priceMult != 1 {
+				// Re-price the open-VM placement: PlacementCost is
+				// f_r·l + penalty delta, and only the f_r component
+				// scales with the spot multiplier.
+				lat, _ := m.env.Latency(act.Template, state.OpenType)
+				cur += (priceMult - 1) * m.env.VMTypes[state.OpenType].RunningCost(lat)
+			}
+			act = m.guardWithCost(state, act, cur, priceMult)
 		}
 		m.prob.ApplyInPlace(state, act)
 		sc.fs.Apply(act)
@@ -135,13 +150,16 @@ func (m *Model) guardDominatedPlacement(s *graph.State, act graph.Action) graph.
 	if !ok {
 		return act
 	}
-	return m.guardWithCost(s, act, cur)
+	return m.guardWithCost(s, act, cur, 1)
 }
 
 // guardWithCost is guardDominatedPlacement once the placement's Eq. 2 cost
 // is known; the serving loop reads cur out of the feature vector it just
-// extracted instead of recomputing it.
-func (m *Model) guardWithCost(s *graph.State, act graph.Action, cur float64) graph.Action {
+// extracted instead of recomputing it. priceMult scales the fee side of the
+// fresh-VM alternative (both f_s and f_r live in tables.fresh); the caller
+// must have scaled cur's fee component to match. 1·fees is bit-exact fees,
+// so flat prices reproduce the historical guard decisions.
+func (m *Model) guardWithCost(s *graph.State, act graph.Action, cur, priceMult float64) graph.Action {
 	// Fresh-VM fees come from the precomputed serving table; only the
 	// goal-dependent penalty delta is evaluated per candidate type.
 	tables := m.servingTables()
@@ -153,7 +171,7 @@ func (m *Model) guardWithCost(s *graph.State, act graph.Action, cur float64) gra
 			continue
 		}
 		lat := tables.freshLat[act.Template*tables.numTypes+v]
-		fresh := fees + s.Acc.PeekAdd(act.Template, lat) - penalty
+		fresh := priceMult*fees + s.Acc.PeekAdd(act.Template, lat) - penalty
 		if fresh < bestCost {
 			bestType, bestCost = v, fresh
 		}

@@ -77,6 +77,14 @@ type OnlineOptions struct {
 	// dropped (never re-admitted work — a query admitted once completes
 	// exactly once). 0 disables shedding. Only active in degraded mode.
 	MaxBacklog int
+	// Prices is an optional spot-style time-varying VM price schedule.
+	// Every stream's simulator charges leases per the schedule (see
+	// cloud.Sim.SetPrices), and the serving loop's dominated-placement
+	// guard compares open-VM placement against fresh-VM rental at the
+	// multiplier in effect at each arrival instant, so scheduling and
+	// accounting see the same prices. Nil means flat base prices; a flat
+	// all-1.0 schedule is bit-identical to nil.
+	Prices *cloud.PriceSchedule
 }
 
 // DefaultOnlineOptions enables both optimizations and re-trains augmented
@@ -622,6 +630,11 @@ type Stream struct {
 	// current arrival event (set per event by SubmitDeadline). It is a
 	// budget, not a wall instant: each event gets its own window.
 	eventDeadline time.Duration
+	// priceMult is the spot price multiplier in effect at the current
+	// arrival event (OnlineOptions.Prices.At of the event time; 1 under
+	// flat prices). onArrival refreshes it once per event and the batch
+	// scheduler's dominated-placement guard prices fees with it.
+	priceMult float64
 
 	// seenShifted/seenAug track which derived models this stream has
 	// already acquired, making the CacheHits/Adaptations/Retrainings
@@ -662,6 +675,8 @@ func (o *OnlineScheduler) acquireStreamOn(reg *ModelRegistry, pool *sync.Pool, c
 	s.reg = reg
 	s.clock = clock
 	s.sim = cloud.NewSim()
+	s.sim.SetPrices(o.opts.Prices)
+	s.priceMult = 1
 	s.res = &OnlineResult{}
 	s.tags = s.tags[:0]
 	s.last = 0
@@ -851,8 +866,10 @@ func (s *Stream) onArrival(ctx context.Context, t time.Duration, arrived []workl
 	}
 	// Load the serving epoch once per event: everything this arrival does
 	// uses it, so a hot swap landing mid-event cannot split the batch
-	// between two models.
+	// between two models. The spot price multiplier is likewise pinned at
+	// the event instant (At is alloc-free; nil prices yield exactly 1).
 	epoch := s.reg.Current()
+	s.priceMult = s.eng.opts.Prices.At(t)
 	if s.drift != nil {
 		for _, q := range arrived {
 			// Rebaseline on any epoch install, not just this stream's own
@@ -1177,7 +1194,7 @@ func (s *Stream) scheduleAugmented(ctx context.Context, epoch *ModelEpoch, t tim
 		s.queries = append(s.queries, workload.Query{TemplateID: queryTemplate[i], Tag: tag})
 	}
 	s.wl = workload.Workload{Templates: m.env.Templates, Queries: s.queries}
-	sched, backing, err := m.scheduleBatchInto(&s.wl, s.sched, s.backing)
+	sched, backing, err := m.scheduleBatchInto(&s.wl, s.sched, s.backing, s.priceMult)
 	if err != nil {
 		return nil, err
 	}
@@ -1226,7 +1243,7 @@ func (s *Stream) scheduleWith(m *Model, batch []int) (*schedule.Schedule, error)
 		s.queries = append(s.queries, workload.Query{TemplateID: int(s.tags[tag].template), Tag: tag})
 	}
 	s.wl = workload.Workload{Templates: m.env.Templates, Queries: s.queries}
-	sched, backing, err := m.scheduleBatchInto(&s.wl, s.sched, s.backing)
+	sched, backing, err := m.scheduleBatchInto(&s.wl, s.sched, s.backing, s.priceMult)
 	if err != nil {
 		return nil, err
 	}

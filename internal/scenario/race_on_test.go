@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports that this test binary was built with the race
+// detector; allocation-count guards skip, since race instrumentation
+// allocates on paths that are allocation-free in production builds.
+const raceEnabled = true

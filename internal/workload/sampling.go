@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -117,7 +118,9 @@ func SkewWeights(n int, skew float64, favorite int) []float64 {
 
 // WithArrivals returns a copy of w whose queries arrive at the given times.
 // Queries are matched to arrival times by index; len(arrivals) must equal
-// the workload size. The result is sorted by arrival time.
+// the workload size. The result is sorted by arrival time; queries arriving
+// at the same instant keep their index order (the sort is stable), so the
+// tag composition of each same-instant batch event is deterministic.
 func (w *Workload) WithArrivals(arrivals []time.Duration) *Workload {
 	if len(arrivals) != len(w.Queries) {
 		panic(fmt.Sprintf("workload: WithArrivals got %d arrival times for %d queries", len(arrivals), len(w.Queries)))
@@ -127,11 +130,7 @@ func (w *Workload) WithArrivals(arrivals []time.Duration) *Workload {
 	for i := range queries {
 		queries[i].Arrival = arrivals[i]
 	}
-	for i := 1; i < len(queries); i++ {
-		for j := i; j > 0 && queries[j].Arrival < queries[j-1].Arrival; j-- {
-			queries[j], queries[j-1] = queries[j-1], queries[j]
-		}
-	}
+	sort.SliceStable(queries, func(i, j int) bool { return queries[i].Arrival < queries[j].Arrival })
 	return &Workload{Templates: w.Templates, Queries: queries}
 }
 

@@ -183,3 +183,67 @@ func TestNormalArrivalsMonotone(t *testing.T) {
 		}
 	}
 }
+
+// WithArrivals must be a stable sort: queries arriving at the same instant
+// keep their index order, so the tag composition of each same-instant batch
+// event is deterministic. The old insertion sort happened to be stable but
+// was O(n²) on out-of-order flash-crowd traces; this pins the tie contract
+// the replacement must keep.
+func TestWithArrivalsStableTies(t *testing.T) {
+	templates := DefaultTemplates(3)
+	n := 60
+	queries := make([]Query, n)
+	arrivals := make([]time.Duration, n)
+	for i := range queries {
+		queries[i] = Query{TemplateID: i % 3, Tag: i}
+		// Three interleaved burst instants plus a reversed tail: ties at
+		// every instant, inversions throughout.
+		arrivals[i] = time.Duration(2-i%3) * time.Minute
+	}
+	w := &Workload{Templates: templates, Queries: queries}
+	out := w.WithArrivals(arrivals)
+	// Non-decreasing, and within each instant the original index order.
+	lastArrival, lastTag := time.Duration(-1), -1
+	for _, q := range out.Queries {
+		if q.Arrival < lastArrival {
+			t.Fatalf("arrivals out of order: %s after %s", q.Arrival, lastArrival)
+		}
+		if q.Arrival == lastArrival && q.Tag < lastTag {
+			t.Fatalf("tie at %s broke index order: tag %d after %d", q.Arrival, q.Tag, lastTag)
+		}
+		if q.Arrival != lastArrival {
+			lastTag = -1
+		}
+		lastArrival, lastTag = q.Arrival, q.Tag
+	}
+	// Bit-determinism: two identical calls agree exactly.
+	again := w.WithArrivals(arrivals)
+	for i := range out.Queries {
+		if out.Queries[i] != again.Queries[i] {
+			t.Fatalf("WithArrivals not deterministic at %d: %+v vs %+v", i, out.Queries[i], again.Queries[i])
+		}
+	}
+}
+
+// A fully reversed trace — the worst case for the old O(n²) insertion sort —
+// sorts correctly at flash-crowd scale.
+func TestWithArrivalsReversedTrace(t *testing.T) {
+	templates := DefaultTemplates(2)
+	n := 20000
+	queries := make([]Query, n)
+	arrivals := make([]time.Duration, n)
+	for i := range queries {
+		queries[i] = Query{TemplateID: i % 2, Tag: i}
+		arrivals[i] = time.Duration(n-i) * time.Millisecond
+	}
+	w := &Workload{Templates: templates, Queries: queries}
+	out := w.WithArrivals(arrivals)
+	for i, q := range out.Queries {
+		if want := time.Duration(i+1) * time.Millisecond; q.Arrival != want {
+			t.Fatalf("at %d: arrival %s, want %s", i, q.Arrival, want)
+		}
+		if q.Tag != n-1-i {
+			t.Fatalf("at %d: tag %d, want %d", i, q.Tag, n-1-i)
+		}
+	}
+}

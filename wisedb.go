@@ -49,6 +49,7 @@ import (
 	"wisedb/internal/chaos"
 	"wisedb/internal/cloud"
 	"wisedb/internal/core"
+	"wisedb/internal/scenario"
 	"wisedb/internal/schedule"
 	"wisedb/internal/server"
 	"wisedb/internal/sla"
@@ -208,6 +209,27 @@ type (
 	VMType = cloud.VMType
 	// Predictor estimates per-template latencies per VM type.
 	Predictor = cloud.Predictor
+	// PriceSchedule is a piecewise-constant time-varying price multiplier
+	// over the VM fee structure (spot-style pricing); nil means flat.
+	PriceSchedule = cloud.PriceSchedule
+	// PriceStep is one segment of a PriceSchedule.
+	PriceStep = cloud.PriceStep
+)
+
+// Scenario harness types: composable seeded arrival/mix/price scenarios
+// replayed through the serving engine (see internal/scenario).
+type (
+	// ScenarioSpec is one named seeded scenario: tenants with arrival
+	// and template-mix processes, plus an optional price schedule.
+	ScenarioSpec = scenario.Spec
+	// ScenarioTenant is one tenant inside a ScenarioSpec.
+	ScenarioTenant = scenario.TenantSpec
+	// ArrivalProcess generates seeded inter-arrival gaps (Poisson,
+	// Pareto, Diurnal, FlashCrowd).
+	ArrivalProcess = scenario.ArrivalProcess
+	// MixProcess generates time-varying template weights (StaticMix,
+	// DiurnalMix, ShiftMix).
+	MixProcess = scenario.MixProcess
 )
 
 // Scheduling types.
@@ -315,6 +337,16 @@ var (
 
 	// DefaultVMTypes returns EC2-like VM types (t2.medium, t2.small, ...).
 	DefaultVMTypes = cloud.DefaultVMTypes
+	// NewPriceSchedule builds a validated piecewise-constant price
+	// schedule (first step at 0, positive multipliers, increasing starts).
+	NewPriceSchedule = cloud.NewPriceSchedule
+	// SpotPrices generates a seeded bounded random-walk price schedule —
+	// the spot-market simulator behind the scenario harness.
+	SpotPrices = cloud.Spot
+	// ScenarioCatalog returns the committed seeded scenario specs
+	// (Poisson, Pareto, diurnal, flash-crowd, priority tiers, spot
+	// pricing, correlated mix shift) the scenario tests pin.
+	ScenarioCatalog = scenario.Catalog
 
 	// NewEnv builds an Env with the exact latency predictor.
 	NewEnv = schedule.NewEnv
